@@ -1,0 +1,277 @@
+//! Banked array model (Section 4.1).
+//!
+//! Slower wires and faster clocks force multi-cycle access to large
+//! on-chip structures; the natural answer is banking. Only one bank is
+//! active per access, so banking saves both power (shorter bitlines and
+//! fewer of them precharged) and access time. Banking costs a small
+//! overhead in bank-select decode and output multiplexing, which is why
+//! a complete column-decoder/mux model matters (Section 2.4).
+
+use crate::energy::{ArrayModel, EnergyBreakdown, ModelKind};
+use crate::spec::{ceil_log2, ArraySpec};
+use crate::tech::TechParams;
+
+/// Number of banks the paper assigns per predictor size (Table 3).
+///
+/// | PHT capacity | banks |
+/// |---|---|
+/// | 128 bits – 2 Kbits | 1 |
+/// | 4 Kbits, 8 Kbits | 2 |
+/// | 16, 32, 64 Kbits | 4 |
+///
+/// # Examples
+///
+/// ```
+/// use bw_arrays::bank_count_for_bits;
+///
+/// assert_eq!(bank_count_for_bits(128), 1);
+/// assert_eq!(bank_count_for_bits(4 * 1024), 2);
+/// assert_eq!(bank_count_for_bits(8 * 1024), 2);
+/// assert_eq!(bank_count_for_bits(64 * 1024), 4);
+/// ```
+#[must_use]
+pub fn bank_count_for_bits(total_bits: u64) -> u32 {
+    if total_bits < 4 * 1024 {
+        1
+    } else if total_bits < 16 * 1024 {
+        2
+    } else {
+        4
+    }
+}
+
+/// An array split into equal banks, one active per access.
+///
+/// Construction banks by entry count: an `N`-bank array of `E` entries
+/// is modelled as one `E/N`-entry bank plus bank-select overhead (extra
+/// decode and an `N`-way output mux), folded into the
+/// [`EnergyBreakdown::column_decoder`] term.
+///
+/// # Examples
+///
+/// ```
+/// use bw_arrays::{ArraySpec, BankedArrayModel, ArrayModel, ModelKind, TechParams};
+///
+/// let tech = TechParams::default();
+/// let spec = ArraySpec::untagged(32 * 1024, 2); // 64 Kbits -> 4 banks
+/// let banked = BankedArrayModel::new(spec, &tech, ModelKind::WithColumnDecoders);
+/// let flat = ArrayModel::new(spec, &tech, ModelKind::WithColumnDecoders);
+/// assert_eq!(banked.banks(), 4);
+/// assert!(banked.energy_per_access().total() < flat.energy_per_access().total());
+/// assert!(banked.access_time_s() < flat.access_time_s());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BankedArrayModel {
+    spec: ArraySpec,
+    banks: u32,
+    bank_model: ArrayModel,
+    overhead_energy: f64,
+    route_time: f64,
+}
+
+impl BankedArrayModel {
+    /// Banks `spec` according to Table 3 ([`bank_count_for_bits`] of its
+    /// total capacity).
+    #[must_use]
+    pub fn new(spec: ArraySpec, tech: &TechParams, kind: ModelKind) -> Self {
+        let banks = bank_count_for_bits(spec.total_bits());
+        Self::with_banks(spec, banks, tech, kind)
+    }
+
+    /// Banks `spec` into an explicit number of banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero, not a power of two, or does not divide
+    /// the entry count evenly.
+    #[must_use]
+    pub fn with_banks(spec: ArraySpec, banks: u32, tech: &TechParams, kind: ModelKind) -> Self {
+        assert!(
+            banks >= 1 && banks.is_power_of_two(),
+            "banks must be a power of two"
+        );
+        assert!(
+            spec.entries.is_multiple_of(u64::from(banks)),
+            "entries ({}) must divide into {banks} banks",
+            spec.entries
+        );
+        let bank_spec = ArraySpec {
+            entries: spec.entries / u64::from(banks),
+            ..spec
+        };
+        let bank_model = ArrayModel::new(bank_spec, tech, kind);
+        let (overhead_energy, route_time) = if banks > 1 {
+            // Bank-select predecode plus an N-way output mux on the
+            // delivered bits.
+            let sel_bits = f64::from(ceil_log2(u64::from(banks)));
+            let c = tech.c_decoder_input * (f64::from(banks) + 2.0 * sel_bits)
+                + spec.bits_read_per_access() as f64 * f64::from(banks) * tech.c_pass_gate;
+            let t = tech.t_output * 0.3 * sel_bits;
+            (tech.switch_energy(c), t)
+        } else {
+            (0.0, 0.0)
+        };
+        BankedArrayModel {
+            spec,
+            banks,
+            bank_model,
+            overhead_energy,
+            route_time,
+        }
+    }
+
+    /// The full (pre-banking) specification.
+    #[must_use]
+    pub fn spec(&self) -> ArraySpec {
+        self.spec
+    }
+
+    /// The number of banks.
+    #[must_use]
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// The model of one bank.
+    #[must_use]
+    pub fn bank_model(&self) -> &ArrayModel {
+        &self.bank_model
+    }
+
+    /// Energy of one access: one active bank plus bank-select/mux
+    /// overhead (reported under `column_decoder`).
+    #[must_use]
+    pub fn energy_per_access(&self) -> EnergyBreakdown {
+        let mut e = self.bank_model.energy_per_access();
+        e.column_decoder += self.overhead_energy;
+        e
+    }
+
+    /// Energy of one write/update access (one bank + overhead).
+    #[must_use]
+    pub fn energy_per_write(&self) -> f64 {
+        self.bank_model.energy_per_write() + self.overhead_energy
+    }
+
+    /// Access time: one bank plus inter-bank routing.
+    #[must_use]
+    pub fn access_time_s(&self) -> f64 {
+        self.bank_model.access_time_s() + self.route_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn table3_bank_counts() {
+        // The exact rows of Table 3.
+        assert_eq!(bank_count_for_bits(128), 1);
+        assert_eq!(bank_count_for_bits(4 * 1024), 2);
+        assert_eq!(bank_count_for_bits(8 * 1024), 2);
+        assert_eq!(bank_count_for_bits(16 * 1024), 4);
+        assert_eq!(bank_count_for_bits(32 * 1024), 4);
+        assert_eq!(bank_count_for_bits(64 * 1024), 4);
+        // Interpolated sizes.
+        assert_eq!(bank_count_for_bits(1024), 1);
+        assert_eq!(bank_count_for_bits(2 * 1024), 1);
+        assert_eq!(bank_count_for_bits(128 * 1024), 4);
+    }
+
+    #[test]
+    fn banking_saves_energy_on_large_arrays() {
+        let t = tech();
+        for entries in [8 * 1024u64, 16 * 1024, 32 * 1024] {
+            let spec = ArraySpec::untagged(entries, 2);
+            let banked = BankedArrayModel::new(spec, &t, ModelKind::WithColumnDecoders);
+            let flat = ArrayModel::new(spec, &t, ModelKind::WithColumnDecoders);
+            assert!(
+                banked.energy_per_access().total() < flat.energy_per_access().total(),
+                "banking must save energy at {entries} entries"
+            );
+        }
+    }
+
+    #[test]
+    fn banking_reduces_access_time_on_large_arrays() {
+        let t = tech();
+        let spec = ArraySpec::untagged(32 * 1024, 2);
+        let banked = BankedArrayModel::new(spec, &t, ModelKind::WithColumnDecoders);
+        let flat = ArrayModel::new(spec, &t, ModelKind::WithColumnDecoders);
+        assert!(banked.access_time_s() < flat.access_time_s());
+    }
+
+    #[test]
+    fn single_bank_matches_flat_array() {
+        let t = tech();
+        let spec = ArraySpec::untagged(256, 2); // 512 bits -> 1 bank
+        let banked = BankedArrayModel::new(spec, &t, ModelKind::WithColumnDecoders);
+        let flat = ArrayModel::new(spec, &t, ModelKind::WithColumnDecoders);
+        assert_eq!(banked.banks(), 1);
+        assert!(
+            (banked.energy_per_access().total() - flat.energy_per_access().total()).abs() < 1e-24
+        );
+        assert!((banked.access_time_s() - flat.access_time_s()).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_banks() {
+        let _ = BankedArrayModel::with_banks(
+            ArraySpec::untagged(1024, 2),
+            3,
+            &tech(),
+            ModelKind::WithColumnDecoders,
+        );
+    }
+
+    #[test]
+    fn more_banks_more_overhead_but_cheaper_bank() {
+        let t = tech();
+        let spec = ArraySpec::untagged(32 * 1024, 2);
+        let two = BankedArrayModel::with_banks(spec, 2, &t, ModelKind::WithColumnDecoders);
+        let four = BankedArrayModel::with_banks(spec, 4, &t, ModelKind::WithColumnDecoders);
+        assert!(
+            four.bank_model().energy_per_access().total()
+                < two.bank_model().energy_per_access().total()
+        );
+    }
+
+    #[test]
+    fn banked_writes_cost_less_than_flat_writes_when_banked() {
+        let t = tech();
+        let spec = ArraySpec::untagged(32 * 1024, 2);
+        let banked = BankedArrayModel::new(spec, &t, ModelKind::WithColumnDecoders);
+        let flat = ArrayModel::new(spec, &t, ModelKind::WithColumnDecoders);
+        assert!(banked.energy_per_write() < flat.energy_per_write());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn banked_energy_never_negative(entries_log in 7u32..17, banks_log in 0u32..3) {
+            let t = TechParams::default();
+            let spec = ArraySpec::untagged(1u64 << entries_log, 2);
+            let banks = 1u32 << banks_log;
+            let m = BankedArrayModel::with_banks(spec, banks, &t, ModelKind::WithColumnDecoders);
+            prop_assert!(m.energy_per_access().total() > 0.0);
+            prop_assert!(m.access_time_s() > 0.0);
+        }
+
+        #[test]
+        fn bank_count_is_monotone_in_size(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bank_count_for_bits(lo) <= bank_count_for_bits(hi));
+        }
+    }
+}

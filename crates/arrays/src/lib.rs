@@ -1,0 +1,53 @@
+//! SRAM array power and timing models for the `branchwatt` simulator.
+//!
+//! All the tables a processor uses to store information — caches, branch
+//! predictor PHTs/BHTs, BTBs — share one structure: a memory core of
+//! SRAM cells accessed through row and column decoders (Figure 1 of the
+//! paper). This crate models that structure from scratch:
+//!
+//! * [`TechParams`] — process/technology constants for the paper's
+//!   0.35 µm-class process at 2.0 V and 1200 MHz.
+//! * [`ArraySpec`] / [`ArrayOrg`] — logical and physical organization,
+//!   including the *squarification* search (Section 2.5) that picks the
+//!   physical aspect ratio minimizing the energy-delay product.
+//! * [`ArrayModel`] — per-access energy broken into row decoder, column
+//!   decoder, wordlines, bitlines, sense amps, output mux and tag
+//!   compare ([`EnergyBreakdown`]), under two model kinds
+//!   ([`ModelKind`]): the original Wattch 1.02 model (no column
+//!   decoders) and the paper's extended model.
+//! * [`timing`] — a Cacti-style RC access-time estimate used for the
+//!   squarification and banking cycle-time results (Figures 3 and 11).
+//! * [`banking`] — bank counts (Table 3) and the banked-array model
+//!   (Section 4.1): only one bank is active per access.
+//!
+//! # Examples
+//!
+//! ```
+//! use bw_arrays::{ArrayModel, ArraySpec, ModelKind, TechParams};
+//!
+//! // A 16K-entry PHT of 2-bit counters, as in the Sun UltraSPARC-III.
+//! let spec = ArraySpec::untagged(16 * 1024, 2);
+//! let tech = TechParams::default();
+//! let model = ArrayModel::new(spec, &tech, ModelKind::WithColumnDecoders);
+//!
+//! let energy = model.energy_per_access();
+//! assert!(energy.total() > 0.0);
+//! // The column-decoder term exists only in the extended model.
+//! let old = ArrayModel::new(spec, &tech, ModelKind::Wattch102);
+//! assert_eq!(old.energy_per_access().column_decoder, 0.0);
+//! assert!(energy.total() > old.energy_per_access().total());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod banking;
+mod energy;
+mod spec;
+mod tech;
+pub mod timing;
+
+pub use banking::{bank_count_for_bits, BankedArrayModel};
+pub use energy::{ArrayModel, EnergyBreakdown, ModelKind};
+pub use spec::{ArrayOrg, ArraySpec, SquarifyGoal};
+pub use tech::TechParams;

@@ -1,0 +1,142 @@
+//! Cacti-style RC access-time model.
+//!
+//! The paper uses a slightly modified Cacti to estimate access and cycle
+//! times for squarification (Section 2.5, Figure 3) and banking
+//! (Section 4.1, Figure 11). Because achievable cycle times are
+//! extremely implementation-dependent, the paper only reports
+//! *normalized* cycle times; this module follows the same spirit with a
+//! simple Elmore-delay RC model per pipeline stage of the array access:
+//! row decode → wordline → bitline → sense → output mux.
+//!
+//! # Examples
+//!
+//! ```
+//! use bw_arrays::{ArraySpec, TechParams};
+//! use bw_arrays::timing::access_time_s;
+//!
+//! let tech = TechParams::default();
+//! let small = ArraySpec::untagged(256, 2).candidate_orgs();
+//! let t = access_time_s(&small[0], &tech);
+//! assert!(t > 0.0 && t < 1e-8);
+//! ```
+
+use crate::spec::{ceil_log2, ArrayOrg};
+use crate::tech::TechParams;
+
+/// Estimated access time of one physical organization, in seconds.
+///
+/// The model sums:
+/// * decoder delay — logarithmic in the row count (predecode tree) plus
+///   a small per-stage constant,
+/// * wordline delay — distributed RC (Elmore: `R·C/2`) over the row,
+/// * bitline delay — distributed RC over the column,
+/// * fixed sense-amplifier and output-mux delays, the latter growing
+///   slowly with the column mux degree.
+#[must_use]
+pub fn access_time_s(org: &ArrayOrg, tech: &TechParams) -> f64 {
+    let rows = org.rows as f64;
+    let cols = org.cols as f64;
+
+    let dec_stages = 1.0 + f64::from(ceil_log2(org.rows.max(2))) * 0.35;
+    let t_dec = tech.t_decoder_stage * dec_stages;
+
+    let r_wl = tech.r_wordline_per_cell * cols;
+    let c_wl = tech.c_wordline_per_cell * cols;
+    let t_wl = 0.5 * r_wl * c_wl;
+
+    let r_bl = tech.r_bitline_per_cell * rows;
+    let c_bl = tech.c_bitline_per_cell * rows;
+    let t_bl = 0.5 * r_bl * c_bl;
+
+    let mux_stages = 1.0 + f64::from(ceil_log2(org.mux_degree.max(2))) * 0.15;
+    let t_out = tech.t_output * mux_stages;
+
+    t_dec + t_wl + t_bl + tech.t_senseamp + t_out
+}
+
+/// Normalizes a slice of times by its maximum, as the paper's figures
+/// do ("cycle times are normalized with respect to the maximum value").
+///
+/// Returns an empty vector for empty input; if all values are zero the
+/// values are returned unchanged.
+///
+/// # Examples
+///
+/// ```
+/// let n = bw_arrays::timing::normalize(&[1.0, 2.0, 4.0]);
+/// assert_eq!(n, vec![0.25, 0.5, 1.0]);
+/// ```
+#[must_use]
+pub fn normalize(times: &[f64]) -> Vec<f64> {
+    let max = times.iter().copied().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return times.to_vec();
+    }
+    times.iter().map(|t| t / max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ArraySpec;
+
+    fn best_org(entries: u64) -> ArrayOrg {
+        use crate::{ArrayModel, ModelKind, SquarifyGoal};
+        let tech = TechParams::default();
+        ArrayModel::squarify(
+            ArraySpec::untagged(entries, 2),
+            &tech,
+            ModelKind::WithColumnDecoders,
+            SquarifyGoal::MinEnergyDelay,
+        )
+    }
+
+    #[test]
+    fn access_time_grows_with_array_size() {
+        let tech = TechParams::default();
+        let t_small = access_time_s(&best_org(256), &tech);
+        let t_big = access_time_s(&best_org(64 * 1024), &tech);
+        assert!(t_big > t_small, "{t_big} !> {t_small}");
+    }
+
+    #[test]
+    fn skinny_orgs_are_slower_than_balanced() {
+        let tech = TechParams::default();
+        // 64K entries, 2 bits: mux 1 -> 65536 x 2 (long bitlines).
+        let skinny = ArrayOrg {
+            rows: 65536,
+            cols: 2,
+            mux_degree: 1,
+        };
+        let balanced = ArrayOrg {
+            rows: 256,
+            cols: 512,
+            mux_degree: 256,
+        };
+        assert!(access_time_s(&skinny, &tech) > access_time_s(&balanced, &tech));
+    }
+
+    #[test]
+    fn normalization_max_is_one() {
+        let times = vec![0.5e-9, 1.0e-9, 0.25e-9];
+        let n = normalize(&times);
+        assert!((n.iter().copied().fold(0.0_f64, f64::max) - 1.0).abs() < 1e-12);
+        assert!((n[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_inputs() {
+        assert!(normalize(&[]).is_empty());
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn plausible_sub_nanosecond_magnitudes() {
+        let tech = TechParams::default();
+        let t = access_time_s(&best_org(16 * 1024), &tech);
+        assert!(
+            t > 0.1e-9 && t < 3e-9,
+            "16K-entry PHT access {t} out of plausible range"
+        );
+    }
+}

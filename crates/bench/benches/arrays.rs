@@ -1,0 +1,56 @@
+//! Criterion benches for the SRAM array power/timing models.
+
+use bw_arrays::{ArrayModel, ArraySpec, BankedArrayModel, ModelKind, TechParams};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_array_models(c: &mut Criterion) {
+    let tech = TechParams::default();
+    let mut g = c.benchmark_group("arrays");
+
+    g.bench_function("squarify_16k_pht", |b| {
+        let spec = ArraySpec::untagged(16 * 1024, 2);
+        b.iter(|| {
+            black_box(ArrayModel::new(
+                black_box(spec),
+                &tech,
+                ModelKind::WithColumnDecoders,
+            ))
+        });
+    });
+
+    g.bench_function("squarify_btb", |b| {
+        let spec = ArraySpec::tagged(2048, 30, 2, 21);
+        b.iter(|| {
+            black_box(ArrayModel::new(
+                black_box(spec),
+                &tech,
+                ModelKind::WithColumnDecoders,
+            ))
+        });
+    });
+
+    g.bench_function("banked_64kbit", |b| {
+        let spec = ArraySpec::untagged(32 * 1024, 2);
+        b.iter(|| {
+            black_box(BankedArrayModel::new(
+                black_box(spec),
+                &tech,
+                ModelKind::WithColumnDecoders,
+            ))
+        });
+    });
+
+    g.bench_function("energy_breakdown_read", |b| {
+        let m = ArrayModel::new(
+            ArraySpec::untagged(16 * 1024, 2),
+            &tech,
+            ModelKind::WithColumnDecoders,
+        );
+        b.iter(|| black_box(m.energy_per_access().total()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_array_models);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches for the cycle-level machine: simulation
+//! throughput of the full pipeline (the cost of regenerating the
+//! paper's figures scales directly with these numbers).
+
+use bw_core::zoo::NamedPredictor;
+use bw_uarch::{Machine, UarchConfig};
+use bw_workload::benchmark;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_machine(c: &mut Criterion) {
+    let model = benchmark("gzip").expect("built-in");
+    let program = model.build_program(1);
+    let cfg = UarchConfig::alpha21264_like();
+
+    let mut g = c.benchmark_group("machine");
+    g.sample_size(10);
+
+    const DETAIL_INSTS: u64 = 20_000;
+    g.throughput(Throughput::Elements(DETAIL_INSTS));
+    g.bench_function("detailed_20k_insts", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(
+                &cfg,
+                &program,
+                model,
+                1,
+                NamedPredictor::Gshare16k12.config(),
+            );
+            m.warmup(10_000);
+            black_box(m.run(DETAIL_INSTS))
+        });
+    });
+
+    const WARM_INSTS: u64 = 100_000;
+    g.throughput(Throughput::Elements(WARM_INSTS));
+    g.bench_function("trace_warmup_100k_insts", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(
+                &cfg,
+                &program,
+                model,
+                1,
+                NamedPredictor::Gshare16k12.config(),
+            );
+            m.warmup(WARM_INSTS);
+            black_box(m.stats().cycles)
+        });
+    });
+
+    g.bench_function("workload_generation_gcc", |b| {
+        let gcc = benchmark("gcc").expect("built-in");
+        b.iter(|| black_box(gcc.build_program(black_box(7))));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

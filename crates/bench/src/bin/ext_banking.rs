@@ -1,0 +1,6 @@
+//! Extension study: bank-count ablation for a 64-Kbit PHT, justifying
+//! Table 3's choice of four banks.
+
+fn main() {
+    println!("{}", bw_core::experiments::banking_ablation());
+}

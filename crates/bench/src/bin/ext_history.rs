@@ -1,0 +1,14 @@
+//! Extension study: speculative history update with repair versus
+//! commit-time history update — quantifying why the paper's simulator
+//! models the former.
+
+use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_core::experiments::spec_history_study;
+use bw_workload::specint7;
+
+fn main() {
+    let cfg = config_from_args();
+    let out = spec_history_study(&specint7(), &cfg, progress_line());
+    progress_done();
+    println!("{out}");
+}

@@ -1,0 +1,14 @@
+//! Extension study: pipeline gating with a standalone JRS confidence
+//! estimator versus the paper's "both strong" — including on a
+//! non-hybrid predictor, which "both strong" cannot gate.
+
+use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_core::experiments::{jrs_gating_render, jrs_gating_study};
+use bw_workload::specint7;
+
+fn main() {
+    let cfg = config_from_args();
+    let rows = jrs_gating_study(&specint7(), &cfg, progress_line());
+    progress_done();
+    println!("{}", jrs_gating_render(&rows));
+}

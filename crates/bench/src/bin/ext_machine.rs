@@ -1,0 +1,14 @@
+//! Extension study: sensitivity of the headline metrics to the
+//! machine's other levers (window size, memory latency, pipeline
+//! depth), for context around the predictor's lever.
+
+use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_core::experiments::machine_ablation;
+use bw_workload::specint7;
+
+fn main() {
+    let cfg = config_from_args();
+    let out = machine_ablation(&specint7(), &cfg, progress_line());
+    progress_done();
+    println!("{out}");
+}

@@ -1,0 +1,15 @@
+//! Extension study: the PPD's savings across predictor organizations
+//! (the paper's proportionality claim) — gate rates are a property of
+//! the instruction stream, so local savings track the gated share.
+
+use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_core::experiments::ppd_proportionality_study;
+use bw_workload::benchmark;
+
+fn main() {
+    let cfg = config_from_args();
+    let out =
+        ppd_proportionality_study(benchmark("gzip").expect("built-in"), &cfg, progress_line());
+    progress_done();
+    println!("{out}");
+}

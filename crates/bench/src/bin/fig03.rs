@@ -1,0 +1,6 @@
+//! Regenerates Figure 3: squarification — PHT power and normalized
+//! cycle times under the old and new organizations.
+
+fn main() {
+    println!("{}", bw_core::experiments::fig03_squarification());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11: cycle time and power for a banked predictor.
+
+fn main() {
+    println!("{}", bw_core::experiments::fig11_banked_timing());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 14: average distance between conditional
+//! branches and between control-flow instructions, for the Section-4
+//! benchmark subset.
+
+use bw_bench::config_from_args;
+use bw_core::experiments::fig14_distances;
+use bw_workload::specint7;
+
+fn main() {
+    let cfg = config_from_args();
+    let insts = (cfg.warmup_insts + cfg.measure_insts).max(1_000_000);
+    println!("{}", fig14_distances(&specint7(), insts, cfg.seed));
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figures 16 and 17: net power/energy savings from the
+//! prediction probe detector on a 32K-entry GAs predictor, for both
+//! timing scenarios and with/without banking.
+
+use bw_bench::{cli_from_args, progress_done, progress_line, write_csv};
+use bw_core::experiments::{fig16_fig17_render, ppd_study};
+use bw_workload::specint7;
+
+fn main() {
+    let cli = cli_from_args();
+    let cfg = cli.cfg;
+    let rows = ppd_study(&specint7(), &cfg, progress_line());
+    progress_done();
+    if let Some(path) = &cli.csv {
+        write_csv(path, &bw_core::export::ppd_csv(&rows));
+    }
+    println!("{}", fig16_fig17_render(&rows));
+}

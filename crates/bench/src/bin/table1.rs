@@ -1,0 +1,5 @@
+//! Regenerates Table 1: the simulated processor configuration.
+
+fn main() {
+    println!("{}", bw_core::experiments::table1());
+}

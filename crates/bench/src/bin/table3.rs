@@ -1,0 +1,5 @@
+//! Regenerates Table 3: number of predictor banks per capacity.
+
+fn main() {
+    println!("{}", bw_core::experiments::table3());
+}

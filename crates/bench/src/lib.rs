@@ -1,0 +1,154 @@
+//! Shared plumbing for the per-table/per-figure experiment binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--quick` — reduced instruction budget (smoke-test scale).
+//! * `--paper` — the full budget (default): 3M-instruction warmup and
+//!   1M measured instructions per simulation.
+//! * `--warmup N` / `--measure N` — explicit budgets.
+//! * `--seed N` — workload seed.
+//!
+//! Run them as `cargo run --release -p bw-bench --bin fig05 -- [flags]`.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use bw_core::SimConfig;
+
+/// Parsed command line: simulation budget plus an optional CSV output
+/// path (`--csv FILE`).
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// The simulation configuration.
+    pub cfg: SimConfig,
+    /// Where to also write machine-readable rows, if requested.
+    pub csv: Option<PathBuf>,
+}
+
+/// Parses the common CLI flags plus `--csv FILE`.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on malformed arguments.
+#[must_use]
+pub fn cli_from_args() -> Cli {
+    let mut csv = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--csv" {
+            i += 1;
+            csv = Some(PathBuf::from(
+                args.get(i).expect("--csv needs a file path").clone(),
+            ));
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    Cli {
+        cfg: config_from(&rest),
+        csv,
+    }
+}
+
+/// Writes CSV content, logging the destination.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_csv(path: &PathBuf, content: &str) {
+    std::fs::write(path, content).expect("failed to write CSV");
+    eprintln!("  wrote {}", path.display());
+}
+
+/// Parses the common CLI flags into a [`SimConfig`].
+///
+/// # Panics
+///
+/// Panics (with a usage message) on malformed numeric arguments.
+#[must_use]
+pub fn config_from_args() -> SimConfig {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    config_from(&args)
+}
+
+fn config_from(args: &[String]) -> SimConfig {
+    let mut cfg = SimConfig::paper(0xb4a2);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                cfg.warmup_insts = 600_000;
+                cfg.measure_insts = 200_000;
+            }
+            "--paper" => {
+                cfg.warmup_insts = 3_000_000;
+                cfg.measure_insts = 1_000_000;
+            }
+            "--warmup" => {
+                i += 1;
+                cfg.warmup_insts = parse_num(args, i, "--warmup");
+            }
+            "--measure" => {
+                i += 1;
+                cfg.measure_insts = parse_num(args, i, "--measure");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = parse_num(args, i, "--seed");
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                eprintln!(
+                    "usage: [--quick|--paper] [--warmup N] [--measure N] [--seed N] [--csv FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    cfg
+}
+
+#[allow(clippy::ptr_arg)]
+fn parse_num(args: &[String], i: usize, flag: &str) -> u64 {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
+}
+
+/// A progress callback that keeps a single status line on stderr.
+pub fn progress_line() -> impl FnMut(&str) {
+    |msg: &str| {
+        eprint!("\r\x1b[2K  running: {msg}");
+        let _ = std::io::stderr().flush();
+    }
+}
+
+/// Ends the progress line.
+pub fn progress_done() {
+    eprintln!("\r\x1b[2K  done");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_paper_scale() {
+        // No args in the test harness beyond the binary name; the
+        // function must not panic and must produce the paper budget.
+        let cfg = SimConfig::paper(1);
+        assert_eq!(cfg.warmup_insts, 3_000_000);
+        assert_eq!(cfg.measure_insts, 1_000_000);
+    }
+
+    #[test]
+    fn progress_helpers_do_not_panic() {
+        let mut p = progress_line();
+        p("x");
+        progress_done();
+    }
+}

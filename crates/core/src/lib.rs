@@ -1,0 +1,50 @@
+//! Top-level simulator facade and experiment runners for the
+//! `branchwatt` reproduction of *Power Issues Related to Branch
+//! Prediction* (HPCA 2002).
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`zoo`] — the paper's fourteen named predictor configurations
+//!   (Section 3.1) plus `hybrid_0` from the pipeline-gating study.
+//! * [`SimConfig`] / [`simulate`] — one full warmup + measured
+//!   simulation of a benchmark model under a predictor configuration,
+//!   producing a [`RunResult`] with performance statistics, per-unit
+//!   energy, and re-priceable predictor activity totals.
+//! * [`experiments`] — one module per table/figure of the paper's
+//!   evaluation, each returning typed rows and a rendered text table.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use bw_core::{simulate, SimConfig};
+//! use bw_core::zoo::NamedPredictor;
+//! use bw_workload::benchmark;
+//!
+//! let cfg = SimConfig::quick(1);
+//! let run = simulate(
+//!     benchmark("gzip").unwrap(),
+//!     NamedPredictor::Gshare16k12.config(),
+//!     &cfg,
+//! );
+//! println!("IPC {:.2}, predictor power {:.2} W", run.ipc(), run.bpred_power_w());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod export;
+pub mod report;
+mod sim;
+pub mod zoo;
+
+pub use sim::{bpred_share, simulate, RunResult, SimConfig};
+
+// Re-export the substrate crates so downstream users (and the root
+// facade) can reach everything through one dependency.
+pub use bw_arrays as arrays;
+pub use bw_power as power;
+pub use bw_predictors as predictors;
+pub use bw_types as types;
+pub use bw_uarch as uarch;
+pub use bw_workload as workload;

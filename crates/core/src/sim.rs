@@ -1,0 +1,358 @@
+//! One full simulation: warmup + measured run, with re-priceable
+//! results.
+
+use bw_arrays::{ModelKind, TechParams};
+use bw_power::{BpredOptions, BpredPower, BpredTotals, EnergyReport};
+use bw_predictors::PredictorConfig;
+use bw_uarch::{Machine, SimStats, UarchConfig};
+use bw_workload::BenchmarkModel;
+
+/// Configuration of one simulation run.
+///
+/// Mirrors the paper's methodology: fast-forward (trace-style warmup of
+/// predictor, BTB, RAS, caches and PPD), then full-detail simulation
+/// for a fixed number of committed instructions.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Machine configuration (Table 1 plus Section-4 options).
+    pub uarch: UarchConfig,
+    /// Array power model (Figure 2's old/new switch).
+    pub kind: ModelKind,
+    /// Bank the direction predictor per Table 3.
+    pub banked: bool,
+    /// Technology parameters.
+    pub tech: TechParams,
+    /// Instructions fast-forwarded before measurement.
+    pub warmup_insts: u64,
+    /// Instructions committed under full detail.
+    pub measure_insts: u64,
+    /// Workload seed (program layout + data addresses).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper-scale configuration: 3M-instruction warmup, 1M
+    /// measured (scaled down from the paper's 2B/200M in proportion to
+    /// the synthetic workloads' much smaller footprints).
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        SimConfig {
+            uarch: UarchConfig::alpha21264_like(),
+            kind: ModelKind::WithColumnDecoders,
+            banked: false,
+            tech: TechParams::default(),
+            warmup_insts: 3_000_000,
+            measure_insts: 1_000_000,
+            seed,
+        }
+    }
+
+    /// A fast configuration for tests and smoke benchmarks.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        SimConfig {
+            warmup_insts: 300_000,
+            measure_insts: 100_000,
+            ..Self::paper(seed)
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper(0xb4a2)
+    }
+}
+
+/// The result of one simulation run.
+///
+/// Carries everything the paper's metrics need (Section 2.3): IPC,
+/// direction accuracy, average instantaneous power, energy and
+/// energy-delay — plus the aggregate predictor activity so banking /
+/// old-model / PPD-scenario variants can be re-priced without
+/// re-simulating (they do not change cycle-level behaviour).
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Predictor description.
+    pub predictor: String,
+    /// Performance counters.
+    pub stats: SimStats,
+    /// Per-unit energy.
+    pub energy: EnergyReport,
+    /// Aggregate predictor activity.
+    pub totals: BpredTotals,
+    /// The predictor power model used during the run.
+    pub bpred_power: BpredPower,
+}
+
+impl RunResult {
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// Conditional-branch direction accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.stats.direction_accuracy()
+    }
+
+    /// Execution time of the measured window, seconds.
+    #[must_use]
+    pub fn time_s(&self) -> f64 {
+        self.energy.time_s()
+    }
+
+    /// Average chip power, watts.
+    #[must_use]
+    pub fn total_power_w(&self) -> f64 {
+        self.energy.avg_power_w()
+    }
+
+    /// Average predictor power, watts.
+    #[must_use]
+    pub fn bpred_power_w(&self) -> f64 {
+        self.energy.bpred_power_w()
+    }
+
+    /// Chip energy over the measured window, joules.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_energy_j()
+    }
+
+    /// Predictor energy, joules.
+    #[must_use]
+    pub fn bpred_energy_j(&self) -> f64 {
+        self.energy.bpred_energy_j()
+    }
+
+    /// Chip energy-delay product, joule-seconds.
+    #[must_use]
+    pub fn energy_delay(&self) -> f64 {
+        self.energy.energy_delay()
+    }
+
+    /// Chip energy outside the predictor, joules.
+    #[must_use]
+    pub fn non_bpred_energy_j(&self) -> f64 {
+        self.total_energy_j() - self.bpred_energy_j()
+    }
+
+    /// Re-prices the run's predictor energy under different power
+    /// options (banking, array-model kind, PPD scenario), returning
+    /// `(bpred_energy_j, total_energy_j)`.
+    ///
+    /// Valid because those options change per-access energies only,
+    /// never the cycle-level activity of the machine that produced
+    /// this result. The PPD options are only meaningful if the run was
+    /// made on a machine with a PPD (gated-lookup counts recorded).
+    #[must_use]
+    pub fn repriced(&self, options: BpredOptions) -> (f64, f64) {
+        let model = self.bpred_power.repriced(options);
+        let bpred = model.energy_for_totals(&self.totals);
+        (bpred, self.non_bpred_energy_j() + bpred)
+    }
+
+    /// Re-priced average powers `(bpred_w, total_w)` (same run time).
+    #[must_use]
+    pub fn repriced_power_w(&self, options: BpredOptions) -> (f64, f64) {
+        let (b, t) = self.repriced(options);
+        (b / self.time_s(), t / self.time_s())
+    }
+
+    /// Re-priced energy-delay product.
+    #[must_use]
+    pub fn repriced_energy_delay(&self, options: BpredOptions) -> f64 {
+        self.repriced(options).1 * self.time_s()
+    }
+
+    /// The power-model options in force during the run.
+    #[must_use]
+    pub fn run_options(&self) -> BpredOptions {
+        self.bpred_power.options()
+    }
+
+    /// A compact human-readable summary of the run.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// # use bw_core::{simulate, SimConfig};
+    /// # use bw_core::zoo::NamedPredictor;
+    /// # use bw_workload::benchmark;
+    /// let run = simulate(
+    ///     benchmark("gzip").unwrap(),
+    ///     NamedPredictor::Bim4k.config(),
+    ///     &SimConfig::quick(1),
+    /// );
+    /// println!("{}", run.summary());
+    /// ```
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} on {}: IPC {:.3}, accuracy {:.2}%, chip {:.2} W / {:.3} mJ, \
+             predictor {:.2} W ({:.1}% of chip), energy-delay {:.4} uJ*s",
+            self.predictor,
+            self.benchmark,
+            self.ipc(),
+            self.accuracy() * 100.0,
+            self.total_power_w(),
+            self.total_energy_j() * 1e3,
+            self.bpred_power_w(),
+            100.0 * self.bpred_energy_j() / self.total_energy_j(),
+            self.energy_delay() * 1e6,
+        )
+    }
+}
+
+/// Runs one benchmark under one predictor configuration.
+///
+/// Builds the program, fast-forwards `cfg.warmup_insts` trace-style,
+/// then simulates `cfg.measure_insts` committed instructions under
+/// full cycle-level detail with power accounting.
+#[must_use]
+pub fn simulate(
+    model: &'static BenchmarkModel,
+    predictor: PredictorConfig,
+    cfg: &SimConfig,
+) -> RunResult {
+    let program = model.build_program(cfg.seed);
+    let mut machine = Machine::with_power(
+        &cfg.uarch, &program, model, cfg.seed, predictor, cfg.kind, cfg.banked, &cfg.tech,
+    );
+    machine.warmup(cfg.warmup_insts);
+    machine.run(cfg.measure_insts);
+    RunResult {
+        benchmark: model.name,
+        predictor: predictor.build().describe(),
+        stats: *machine.stats(),
+        energy: machine.power_report(),
+        totals: machine.bpred_totals(),
+        bpred_power: machine.bpred_power().clone(),
+    }
+}
+
+/// Sanity bound used in tests: the predictor's share of chip energy,
+/// which the paper puts at "10% or more" for large predictors.
+#[must_use]
+pub fn bpred_share(run: &RunResult) -> f64 {
+    run.bpred_energy_j() / run.total_energy_j()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::NamedPredictor;
+    use bw_power::{PpdScenario, Unit};
+    use bw_workload::benchmark;
+
+    fn quick_run(pred: NamedPredictor) -> RunResult {
+        simulate(
+            benchmark("gzip").unwrap(),
+            pred.config(),
+            &SimConfig::quick(3),
+        )
+    }
+
+    #[test]
+    fn run_produces_consistent_metrics() {
+        let r = quick_run(NamedPredictor::Gshare16k12);
+        assert!(r.ipc() > 0.3);
+        assert!(r.accuracy() > 0.6);
+        assert!(r.total_energy_j() > r.bpred_energy_j());
+        assert!((r.energy_delay() - r.total_energy_j() * r.time_s()).abs() < 1e-12);
+        let share = bpred_share(&r);
+        assert!((0.02..0.3).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn repriced_identity_matches_measured_energy() {
+        // Re-pricing under the run's own options must reproduce the
+        // cycle-accumulated energy (the linear accounting is exact).
+        let r = quick_run(NamedPredictor::GAs32k8);
+        let (bpred, total) = r.repriced(r.run_options());
+        assert!(
+            (bpred - r.bpred_energy_j()).abs() < 1e-9 * r.bpred_energy_j().max(1e-12),
+            "repriced {bpred} vs measured {}",
+            r.bpred_energy_j()
+        );
+        assert!((total - r.total_energy_j()).abs() < 1e-9 * r.total_energy_j());
+    }
+
+    #[test]
+    fn banking_repricing_reduces_energy_for_large_predictors() {
+        let r = quick_run(NamedPredictor::Gshare32k12);
+        let banked = BpredOptions {
+            banked: true,
+            ..r.run_options()
+        };
+        let (b, t) = r.repriced(banked);
+        assert!(b < r.bpred_energy_j());
+        assert!(t < r.total_energy_j());
+    }
+
+    #[test]
+    fn ppd_run_reprices_across_scenarios() {
+        let mut cfg = SimConfig::quick(5);
+        cfg.uarch = cfg.uarch.with_ppd(PpdScenario::One);
+        let r = simulate(
+            benchmark("gap").unwrap(),
+            NamedPredictor::GAs32k8.config(),
+            &cfg,
+        );
+        assert!(r.totals.dir_gated > 0, "PPD must gate some lookups");
+        let base = BpredOptions {
+            ppd: None,
+            ..r.run_options()
+        };
+        let s1 = BpredOptions {
+            ppd: Some(PpdScenario::One),
+            ..r.run_options()
+        };
+        let s2 = BpredOptions {
+            ppd: Some(PpdScenario::Two),
+            ..r.run_options()
+        };
+        let (e_base, _) = r.repriced(base);
+        let (e_s1, _) = r.repriced(s1);
+        let (e_s2, _) = r.repriced(s2);
+        assert!(e_s1 < e_s2, "scenario 1 saves more: {e_s1} !< {e_s2}");
+        assert!(e_s2 < e_base, "scenario 2 still saves: {e_s2} !< {e_base}");
+        // The paper's headline: PPD cuts local predictor energy by
+        // roughly 40-60% under Scenario 1.
+        let reduction = 1.0 - e_s1 / e_base;
+        assert!(
+            (0.15..0.75).contains(&reduction),
+            "S1 reduction {reduction} out of plausible band"
+        );
+    }
+
+    #[test]
+    fn determinism_across_identical_configs() {
+        let a = quick_run(NamedPredictor::Bim4k);
+        let b = quick_run(NamedPredictor::Bim4k);
+        assert_eq!(a.stats, b.stats);
+        assert!((a.total_energy_j() - b.total_energy_j()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_is_informative() {
+        let r = quick_run(NamedPredictor::Bim4k);
+        let s = r.summary();
+        assert!(s.contains("bimodal-4096"));
+        assert!(s.contains("gzip"));
+        assert!(s.contains("IPC"));
+        assert!(s.contains("uJ*s"));
+    }
+
+    #[test]
+    fn unit_breakdown_covers_chip() {
+        let r = quick_run(NamedPredictor::Hybrid1);
+        let sum: f64 = Unit::ALL.iter().map(|u| r.energy.unit_energy_j(*u)).sum();
+        assert!((sum - r.total_energy_j()).abs() < 1e-12 * sum);
+    }
+}

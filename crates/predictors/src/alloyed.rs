@@ -1,0 +1,301 @@
+//! Alloyed-history two-level prediction (Skadron, Martonosi, Clark —
+//! "A Taxonomy of Branch Mispredictions, and Alloyed Prediction as a
+//! Robust Solution to Wrong-History Mispredictions").
+//!
+//! The paper's hybrid configurations (Section 3.1) come from this
+//! cited work, which proposes *alloying*: concatenating bits of global
+//! history, per-branch local history and the branch address into one
+//! PHT index. A single table then captures both correlation and local
+//! patterns without a selector — a robust middle ground this crate
+//! provides as a natural extension of the studied organizations.
+
+use crate::counter::SatCounter;
+use crate::direction::{
+    log2_exact, pc_bits, DirectionPredictor, HistCheckpoint, PredMeta, Prediction, Storage,
+    StorageRole,
+};
+use bw_arrays::ArraySpec;
+use bw_types::{Addr, Outcome};
+
+/// An alloyed (MAs) two-level predictor: PHT indexed by
+/// `global history ++ local history ++ PC bits`.
+///
+/// # Examples
+///
+/// ```
+/// use bw_predictors::{DirectionPredictor, TwoLevelAlloyed};
+///
+/// // 16K-entry PHT: 5 global + 5 local + 4 PC bits; 1K x 5-bit BHT.
+/// let p = TwoLevelAlloyed::new(16 * 1024, 5, 5, 1024);
+/// assert_eq!(p.total_bits(), 16 * 1024 * 2 + 1024 * 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoLevelAlloyed {
+    pht: Vec<SatCounter>,
+    pht_index_bits: u32,
+    ghr: u64,
+    global_bits: u32,
+    bht: Vec<u32>,
+    bht_index_bits: u32,
+    local_bits: u32,
+}
+
+impl TwoLevelAlloyed {
+    /// Builds an alloyed predictor.
+    ///
+    /// `pht_entries` counters are indexed by `global_bits` of global
+    /// history, `local_bits` of the branch's own history (from a
+    /// `bht_entries`-entry BHT) and PC bits filling the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table sizes are not powers of two or the history
+    /// fields exceed the PHT index width.
+    #[must_use]
+    pub fn new(pht_entries: u64, global_bits: u32, local_bits: u32, bht_entries: u64) -> Self {
+        let pht_index_bits = log2_exact(pht_entries);
+        assert!(
+            global_bits + local_bits <= pht_index_bits,
+            "history fields ({global_bits}+{local_bits}) exceed index width ({pht_index_bits})"
+        );
+        assert!(local_bits <= 32);
+        TwoLevelAlloyed {
+            pht: vec![SatCounter::two_bit(); pht_entries as usize],
+            pht_index_bits,
+            ghr: 0,
+            global_bits,
+            bht: vec![0; bht_entries as usize],
+            bht_index_bits: log2_exact(bht_entries),
+            local_bits,
+        }
+    }
+
+    fn bht_index(&self, pc: Addr) -> u32 {
+        pc_bits(pc, self.bht_index_bits) as u32
+    }
+
+    fn pht_index(&self, pc: Addr, ghist: u64, lhist: u32) -> usize {
+        let g = ghist & ((1u64 << self.global_bits) - 1);
+        let l = u64::from(lhist) & ((1u64 << self.local_bits) - 1);
+        let pc_part = self.pht_index_bits - self.global_bits - self.local_bits;
+        let idx = (g << (self.local_bits + pc_part)) | (l << pc_part) | pc_bits(pc, pc_part);
+        idx as usize
+    }
+}
+
+impl DirectionPredictor for TwoLevelAlloyed {
+    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+        let ghist = self.ghr;
+        let bi = self.bht_index(pc);
+        let lhist = self.bht[bi as usize];
+        let outcome = self.pht[self.pht_index(pc, ghist, lhist)].predict();
+        let ckpt = HistCheckpoint {
+            ghr_before: ghist,
+            local_before: Some((bi, lhist)),
+        };
+        self.ghr = (self.ghr << 1) | outcome.as_bit();
+        self.bht[bi as usize] = (lhist << 1) | outcome.as_bit() as u32;
+        (
+            Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist,
+                    lhist,
+                    bht_index: bi,
+                },
+                components_agree: None,
+            },
+            ckpt,
+        )
+    }
+
+    fn predict_nonspec(&self, pc: Addr) -> Prediction {
+        let ghist = self.ghr;
+        let bi = self.bht_index(pc);
+        let lhist = self.bht[bi as usize];
+        let outcome = self.pht[self.pht_index(pc, ghist, lhist)].predict();
+        Prediction {
+            outcome,
+            meta: PredMeta {
+                ghist,
+                lhist,
+                bht_index: bi,
+            },
+            components_agree: None,
+        }
+    }
+
+    fn repair(&mut self, ckpt: &HistCheckpoint) {
+        self.ghr = ckpt.ghr_before;
+        if let Some((bi, old)) = ckpt.local_before {
+            self.bht[bi as usize] = old;
+        }
+    }
+
+    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> HistCheckpoint {
+        let bi = self.bht_index(pc);
+        let old = self.bht[bi as usize];
+        let ckpt = HistCheckpoint {
+            ghr_before: self.ghr,
+            local_before: Some((bi, old)),
+        };
+        self.ghr = (self.ghr << 1) | outcome.as_bit();
+        self.bht[bi as usize] = (old << 1) | outcome.as_bit() as u32;
+        ckpt
+    }
+
+    fn commit(&mut self, pc: Addr, actual: Outcome, pred: &Prediction) {
+        let idx = self.pht_index(pc, pred.meta.ghist, pred.meta.lhist);
+        self.pht[idx].update(actual);
+    }
+
+    fn storages(&self) -> Vec<Storage> {
+        vec![
+            Storage {
+                role: StorageRole::Bht,
+                spec: ArraySpec::untagged(self.bht.len() as u64, self.local_bits.max(1)),
+                reads_per_lookup: 1.0,
+                writes_per_update: 1.0,
+            },
+            Storage {
+                role: StorageRole::Pht,
+                spec: ArraySpec::untagged(self.pht.len() as u64, 2),
+                reads_per_lookup: 1.0,
+                writes_per_update: 1.0,
+            },
+        ]
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "alloyed-{}/g{}l{}(bht {})",
+            self.pht.len(),
+            self.global_bits,
+            self.local_bits,
+            self.bht.len()
+        )
+    }
+
+    fn debug_ghr(&self) -> Option<u64> {
+        Some(self.ghr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_types::Outcome::{NotTaken, Taken};
+
+    fn drive(p: &mut dyn DirectionPredictor, seq: &[(Addr, Outcome)], warmup: usize) -> f64 {
+        let (mut correct, mut scored) = (0usize, 0usize);
+        for (i, &(pc, actual)) in seq.iter().enumerate() {
+            let (pred, ckpt) = p.lookup(pc);
+            if pred.outcome != actual {
+                p.repair(&ckpt);
+                p.spec_push(pc, actual);
+            }
+            if i >= warmup {
+                scored += 1;
+                if pred.outcome == actual {
+                    correct += 1;
+                }
+            }
+            p.commit(pc, actual, &pred);
+        }
+        correct as f64 / scored as f64
+    }
+
+    #[test]
+    fn learns_both_local_patterns_and_global_correlation() {
+        // One branch follows a period-6 local pattern; another copies
+        // the previous outcome of a third (global correlation). A
+        // single alloyed table must capture both.
+        let (l, a, b) = (Addr(0x100), Addr(0x200), Addr(0x300));
+        let mut seq = Vec::new();
+        for i in 0..8000u64 {
+            let a_out = Outcome::from_bool((i / 2) % 2 == 0);
+            seq.push((a, a_out));
+            seq.push((b, a_out));
+            seq.push((l, Outcome::from_bool(i % 6 != 5)));
+        }
+        let mut alloyed = TwoLevelAlloyed::new(16 * 1024, 5, 5, 1024);
+        let acc = drive(&mut alloyed, &seq, 4000);
+        assert!(acc > 0.95, "alloyed must capture both behaviours ({acc})");
+    }
+
+    #[test]
+    fn beats_pure_global_on_local_patterns_under_history_pressure() {
+        // A long local pattern drowned in global noise: pure global
+        // history thrashes while the alloyed local field holds on.
+        let target = Addr(0x40);
+        let noise: Vec<Addr> = (0..12).map(|i| Addr(0x1000 + i * 4)).collect();
+        let mut seq = Vec::new();
+        for i in 0..5000u64 {
+            for (k, &n) in noise.iter().enumerate() {
+                // Noisy branches: pseudo-random outcomes.
+                let h = i.wrapping_mul(31).wrapping_add(k as u64 * 7);
+                seq.push((n, Outcome::from_bool(h % 3 == 0)));
+            }
+            seq.push((target, Outcome::from_bool(i % 4 != 3)));
+        }
+        let score = |p: &mut dyn DirectionPredictor| {
+            let (mut ok, mut n) = (0, 0);
+            for (i, &(pc, actual)) in seq.iter().enumerate() {
+                let (pred, ck) = p.lookup(pc);
+                if pred.outcome != actual {
+                    p.repair(&ck);
+                    p.spec_push(pc, actual);
+                }
+                if pc == target && i > seq.len() / 2 {
+                    n += 1;
+                    if pred.outcome == actual {
+                        ok += 1;
+                    }
+                }
+                p.commit(pc, actual, &pred);
+            }
+            f64::from(ok) / f64::from(n)
+        };
+        let mut alloyed = TwoLevelAlloyed::new(4096, 4, 4, 256);
+        let mut gshare = crate::TwoLevelGlobal::gshare(4096, 12);
+        let a = score(&mut alloyed);
+        let g = score(&mut gshare);
+        assert!(
+            a > g + 0.05,
+            "alloyed ({a:.3}) must beat gshare ({g:.3}) on the drowned local pattern"
+        );
+    }
+
+    #[test]
+    fn repair_roundtrip_restores_both_histories() {
+        let mut p = TwoLevelAlloyed::new(1024, 4, 4, 64);
+        p.spec_push(Addr(0x10), Taken);
+        p.spec_push(Addr(0x10), NotTaken);
+        let ghr = p.ghr;
+        let bht = p.bht.clone();
+        let mut cks = Vec::new();
+        for i in 0..10u64 {
+            let (_, ck) = p.lookup(Addr(0x10 + i * 4));
+            cks.push(ck);
+        }
+        for ck in cks.iter().rev() {
+            p.repair(ck);
+        }
+        assert_eq!(p.ghr, ghr);
+        assert_eq!(p.bht, bht);
+    }
+
+    #[test]
+    fn storage_inventory() {
+        let p = TwoLevelAlloyed::new(16 * 1024, 5, 5, 1024);
+        assert_eq!(p.storages().len(), 2);
+        assert_eq!(p.total_bits(), 32 * 1024 + 5 * 1024);
+        assert!(p.describe().starts_with("alloyed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed index width")]
+    fn rejects_oversized_history() {
+        let _ = TwoLevelAlloyed::new(256, 5, 5, 64);
+    }
+}

@@ -1,0 +1,205 @@
+//! The bimodal predictor (Smith, 1981).
+
+use crate::counter::SatCounter;
+use crate::direction::{
+    log2_exact, pc_bits, DirectionPredictor, HistCheckpoint, PredMeta, Prediction, Storage,
+    StorageRole,
+};
+use bw_arrays::ArraySpec;
+use bw_types::{Addr, Outcome};
+
+/// A simple PHT of two-bit saturating counters indexed by branch PC.
+///
+/// All dynamic executions of a static branch map to the same entry, so
+/// the predictor captures per-branch bias but no history. The paper
+/// models 128-entry (Motorola ColdFire v4) through 16K-entry
+/// configurations; 4K entries (Alpha 21064) is the point of
+/// diminishing returns.
+///
+/// # Examples
+///
+/// ```
+/// use bw_predictors::{Bimodal, DirectionPredictor};
+/// use bw_types::{Addr, Outcome};
+///
+/// let mut p = Bimodal::new(4096);
+/// let pc = Addr(0x1000);
+/// let (pred, _) = p.lookup(pc);
+/// p.commit(pc, Outcome::Taken, &pred);
+/// p.commit(pc, Outcome::Taken, &pred);
+/// assert!(p.lookup(pc).0.outcome.is_taken());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    pht: Vec<SatCounter>,
+    index_bits: u32,
+}
+
+impl Bimodal {
+    /// A bimodal predictor with `entries` two-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: u64) -> Self {
+        let index_bits = log2_exact(entries);
+        Bimodal {
+            pht: vec![SatCounter::two_bit(); entries as usize],
+            index_bits,
+        }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        pc_bits(pc, self.index_bits) as usize
+    }
+
+    /// Number of PHT entries.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.pht.len() as u64
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+        let outcome = self.pht[self.index(pc)].predict();
+        (
+            Prediction {
+                outcome,
+                meta: PredMeta::default(),
+                components_agree: None,
+            },
+            HistCheckpoint::default(),
+        )
+    }
+
+    fn predict_nonspec(&self, pc: Addr) -> Prediction {
+        let outcome = self.pht[self.index(pc)].predict();
+        Prediction {
+            outcome,
+            meta: PredMeta::default(),
+            components_agree: None,
+        }
+    }
+
+    fn repair(&mut self, _ckpt: &HistCheckpoint) {
+        // No speculative state.
+    }
+
+    fn spec_push(&mut self, _pc: Addr, _outcome: Outcome) -> HistCheckpoint {
+        HistCheckpoint::default()
+    }
+
+    fn commit(&mut self, pc: Addr, actual: Outcome, _pred: &Prediction) {
+        let idx = self.index(pc);
+        self.pht[idx].update(actual);
+    }
+
+    fn storages(&self) -> Vec<Storage> {
+        vec![Storage {
+            role: StorageRole::Pht,
+            spec: ArraySpec::untagged(self.entries(), 2),
+            reads_per_lookup: 1.0,
+            writes_per_update: 1.0,
+        }]
+    }
+
+    fn describe(&self) -> String {
+        format!("bimodal-{}", self.entries())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_types::Outcome::{NotTaken, Taken};
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = Bimodal::new(128);
+        let pc = Addr(0x40);
+        for _ in 0..4 {
+            let (pred, _) = p.lookup(pc);
+            p.commit(pc, Taken, &pred);
+        }
+        assert!(p.lookup(pc).0.outcome.is_taken());
+    }
+
+    #[test]
+    fn distinct_branches_use_distinct_entries() {
+        let mut p = Bimodal::new(128);
+        let a = Addr(0x40);
+        let b = Addr(0x44);
+        for _ in 0..4 {
+            let (pa, _) = p.lookup(a);
+            p.commit(a, Taken, &pa);
+            let (pb, _) = p.lookup(b);
+            p.commit(b, NotTaken, &pb);
+        }
+        assert!(p.lookup(a).0.outcome.is_taken());
+        assert!(!p.lookup(b).0.outcome.is_taken());
+    }
+
+    #[test]
+    fn aliasing_wraps_modulo_table_size() {
+        let mut p = Bimodal::new(16);
+        // Same index: word indexes differ by exactly 16.
+        let a = Addr(0x0);
+        let b = Addr(16 * 4);
+        for _ in 0..4 {
+            let (pa, _) = p.lookup(a);
+            p.commit(a, Taken, &pa);
+        }
+        assert!(
+            p.lookup(b).0.outcome.is_taken(),
+            "aliased branch sees trained counter"
+        );
+    }
+
+    #[test]
+    fn cannot_learn_alternation() {
+        // T N T N ... keeps a 2-bit counter oscillating between 1 and 2.
+        let mut p = Bimodal::new(64);
+        let pc = Addr(0x10);
+        let mut correct = 0;
+        let mut outcome = Taken;
+        for _ in 0..100 {
+            let (pred, _) = p.lookup(pc);
+            if pred.outcome == outcome {
+                correct += 1;
+            }
+            p.commit(pc, outcome, &pred);
+            outcome = outcome.flip();
+        }
+        assert!(
+            correct <= 60,
+            "bimodal must not learn alternation (got {correct}/100)"
+        );
+    }
+
+    #[test]
+    fn storages_describe_the_pht() {
+        let p = Bimodal::new(4096);
+        let s = p.storages();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].spec.total_bits(), 8192);
+        assert_eq!(p.total_bits(), 8192);
+        assert_eq!(p.describe(), "bimodal-4096");
+    }
+
+    #[test]
+    fn repair_and_spec_push_are_noops() {
+        let mut p = Bimodal::new(64);
+        let before = p.lookup(Addr(0)).0;
+        let ck = p.spec_push(Addr(0), Taken);
+        p.repair(&ck);
+        assert_eq!(p.lookup(Addr(0)).0, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Bimodal::new(100);
+    }
+}

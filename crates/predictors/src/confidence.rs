@@ -1,0 +1,187 @@
+//! Standalone confidence estimation (Grunwald, Klauser, Manne,
+//! Pleszkun — "Confidence Estimation for Speculation Control").
+//!
+//! The paper's pipeline-gating study uses the "both strong" estimate,
+//! which is free but only works for hybrid predictors and whose
+//! accuracy is "a function of the predictor organization". Its
+//! Section 4.3 explicitly flags separate estimators as warranting
+//! further study — this module provides one: a JRS-style table of
+//! *miss distance counters* (MDCs), indexed by branch address XOR
+//! global history. A counter resets on a misprediction and saturates
+//! upward on correct predictions; a branch is high-confidence when its
+//! counter has reached a threshold.
+
+use crate::direction::{log2_exact, pc_bits, Storage, StorageRole};
+use bw_arrays::ArraySpec;
+use bw_types::Addr;
+
+/// A JRS miss-distance-counter confidence estimator.
+///
+/// # Examples
+///
+/// ```
+/// use bw_predictors::JrsEstimator;
+/// use bw_types::Addr;
+///
+/// let mut jrs = JrsEstimator::new(1024, 4, 8);
+/// let pc = Addr(0x400);
+/// // Cold counters mean low confidence.
+/// assert!(!jrs.is_high_confidence(pc, 0));
+/// // A run of correct predictions builds confidence.
+/// for _ in 0..8 {
+///     jrs.update(pc, 0, true);
+/// }
+/// assert!(jrs.is_high_confidence(pc, 0));
+/// // One miss resets it.
+/// jrs.update(pc, 0, false);
+/// assert!(!jrs.is_high_confidence(pc, 0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct JrsEstimator {
+    table: Vec<u8>,
+    index_bits: u32,
+    hist_bits: u32,
+    max: u8,
+    threshold: u8,
+}
+
+impl JrsEstimator {
+    /// An estimator with `entries` MDCs, `hist_bits` of global history
+    /// folded into the index, and the given high-confidence
+    /// `threshold` (counters saturate at 15, 4-bit MDCs as in the JRS
+    /// paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, `hist_bits` exceeds
+    /// the index width, or `threshold` exceeds the counter maximum.
+    #[must_use]
+    pub fn new(entries: u64, hist_bits: u32, threshold: u8) -> Self {
+        let index_bits = log2_exact(entries);
+        assert!(hist_bits <= index_bits, "history must fit the index");
+        let max = 15;
+        assert!(
+            threshold <= max,
+            "threshold {threshold} exceeds counter max {max}"
+        );
+        JrsEstimator {
+            table: vec![0; entries as usize],
+            index_bits,
+            hist_bits,
+            max,
+            threshold,
+        }
+    }
+
+    /// The canonical configuration used by this repository's gating
+    /// extension: 1K entries, 4 history bits, threshold 8.
+    #[must_use]
+    pub fn default_config() -> Self {
+        JrsEstimator::new(1024, 4, 8)
+    }
+
+    fn index(&self, pc: Addr, ghist: u64) -> usize {
+        let h = ghist & ((1u64 << self.hist_bits) - 1);
+        ((pc_bits(pc, self.index_bits)) ^ (h << (self.index_bits - self.hist_bits))) as usize
+    }
+
+    /// `true` if the branch's MDC has reached the threshold (the
+    /// prediction is likely correct).
+    #[must_use]
+    pub fn is_high_confidence(&self, pc: Addr, ghist: u64) -> bool {
+        self.table[self.index(pc, ghist)] >= self.threshold
+    }
+
+    /// Trains the estimator with the resolved prediction correctness.
+    pub fn update(&mut self, pc: Addr, ghist: u64, predicted_correctly: bool) {
+        let idx = self.index(pc, ghist);
+        let e = &mut self.table[idx];
+        if predicted_correctly {
+            *e = (*e + 1).min(self.max);
+        } else {
+            *e = 0;
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    /// Array description for the power model (4-bit MDCs).
+    #[must_use]
+    pub fn storage(&self) -> Storage {
+        Storage {
+            role: StorageRole::Confidence,
+            spec: ArraySpec::untagged(self.entries(), 4),
+            reads_per_lookup: 1.0,
+            writes_per_update: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_confidence_with_correct_streaks() {
+        let mut j = JrsEstimator::new(256, 2, 4);
+        let pc = Addr(0x80);
+        assert!(!j.is_high_confidence(pc, 0));
+        for i in 0..4 {
+            assert!(!j.is_high_confidence(pc, 0), "below threshold at step {i}");
+            j.update(pc, 0, true);
+        }
+        assert!(j.is_high_confidence(pc, 0));
+    }
+
+    #[test]
+    fn miss_resets_to_low_confidence() {
+        let mut j = JrsEstimator::new(256, 2, 4);
+        let pc = Addr(0x80);
+        for _ in 0..10 {
+            j.update(pc, 0, true);
+        }
+        j.update(pc, 0, false);
+        assert!(!j.is_high_confidence(pc, 0));
+    }
+
+    #[test]
+    fn history_separates_contexts() {
+        let mut j = JrsEstimator::new(256, 4, 4);
+        let pc = Addr(0x80);
+        for _ in 0..8 {
+            j.update(pc, 0b0001, true);
+        }
+        assert!(j.is_high_confidence(pc, 0b0001));
+        assert!(
+            !j.is_high_confidence(pc, 0b0010),
+            "different context stays cold"
+        );
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut j = JrsEstimator::new(64, 0, 15);
+        let pc = Addr(0);
+        for _ in 0..100 {
+            j.update(pc, 0, true);
+        }
+        assert!(j.is_high_confidence(pc, 0));
+    }
+
+    #[test]
+    fn storage_is_a_small_array() {
+        let j = JrsEstimator::default_config();
+        assert_eq!(j.storage().spec.total_bits(), 4096);
+        assert_eq!(j.storage().role, StorageRole::Confidence);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds counter max")]
+    fn rejects_bad_threshold() {
+        let _ = JrsEstimator::new(64, 0, 16);
+    }
+}

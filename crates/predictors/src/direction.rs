@@ -1,0 +1,203 @@
+//! The direction-predictor interface: prediction, speculative history
+//! update, repair, and commit-time training.
+
+use bw_arrays::ArraySpec;
+use bw_types::{Addr, Outcome};
+
+/// The role an array structure plays inside the branch-prediction
+//  machinery — used by the power model to attribute per-access energy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StorageRole {
+    /// A pattern history table of saturating counters.
+    Pht,
+    /// A branch history table of per-branch history registers.
+    Bht,
+    /// A hybrid predictor's selector/chooser table.
+    Selector,
+    /// The branch target buffer.
+    Btb,
+    /// The return-address stack.
+    Ras,
+    /// The prediction probe detector.
+    Ppd,
+    /// A standalone confidence-estimator table (pipeline gating).
+    Confidence,
+}
+
+/// One array structure and its per-event access counts.
+///
+/// `reads_per_lookup` is how many times the array is read on one
+/// front-end lookup (the paper charges one lookup per active fetch
+/// cycle); `writes_per_update` is how many writes one commit-time
+/// update performs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Storage {
+    /// What the array is.
+    pub role: StorageRole,
+    /// Its logical geometry.
+    pub spec: ArraySpec,
+    /// Reads per front-end lookup.
+    pub reads_per_lookup: f64,
+    /// Writes per commit-time update.
+    pub writes_per_update: f64,
+}
+
+/// Everything a predictor needs at commit time to train the entry it
+/// actually read, plus what the confidence estimator needs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PredMeta {
+    /// Global history value used to form the index.
+    pub ghist: u64,
+    /// Local history value used (PAs/hybrid-local), else 0.
+    pub lhist: u32,
+    /// BHT index consulted, if any.
+    pub bht_index: u32,
+}
+
+/// A branch prediction with its training metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Prediction {
+    /// Predicted direction.
+    pub outcome: Outcome,
+    /// Index/history state needed for commit-time training.
+    pub meta: PredMeta,
+    /// For hybrid predictors: `Some(true)` when both components give
+    /// the same direction — the "both strong" high-confidence signal
+    /// the paper uses for pipeline gating (Section 4.3). `None` for
+    /// non-hybrid predictors.
+    pub components_agree: Option<bool>,
+}
+
+/// A checkpoint of speculative history state taken at lookup time.
+///
+/// Restoring checkpoints youngest-first undoes the speculative history
+/// pollution of a squashed path (the speculative-update-with-repair
+/// scheme of Skadron et al. that the paper models).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HistCheckpoint {
+    /// Global history register value before this branch's speculative
+    /// shift.
+    pub ghr_before: u64,
+    /// `(BHT index, entry value before the shift)`, for predictors
+    /// with local history.
+    pub local_before: Option<(u32, u32)>,
+}
+
+/// A dynamic branch direction predictor with speculative history
+/// update and repair.
+///
+/// Protocol per dynamic branch:
+///
+/// 1. **Fetch**: [`lookup`](Self::lookup) — read the tables, form a
+///    prediction, shift the *predicted* outcome into the histories,
+///    and return a [`HistCheckpoint`].
+/// 2. **Squash** (wrong path detected): for every in-flight branch
+///    younger than the offender, youngest first, call
+///    [`repair`](Self::repair) with its checkpoint; then repair the
+///    offender itself and re-insert its now-known outcome with
+///    [`spec_push`](Self::spec_push).
+/// 3. **Commit**: [`commit`](Self::commit) — train the counters the
+///    lookup actually read.
+pub trait DirectionPredictor {
+    /// Predicts the branch at `pc` and speculatively updates history.
+    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint);
+
+    /// Predicts the branch at `pc` *without* touching any speculative
+    /// state — for machines that update history only at commit (the
+    /// baseline that Skadron et al.'s speculative-update study, which
+    /// the paper's simulator adopts, improves upon). Pair with a
+    /// commit-time [`spec_push`](Self::spec_push) of the resolved
+    /// outcome.
+    fn predict_nonspec(&self, pc: Addr) -> Prediction;
+
+    /// Restores speculative history state from a checkpoint.
+    fn repair(&mut self, ckpt: &HistCheckpoint);
+
+    /// Shifts a resolved `outcome` into the histories (after a repair),
+    /// returning the fresh checkpoint for the re-inserted branch.
+    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> HistCheckpoint;
+
+    /// Trains the predictor with the architectural outcome.
+    fn commit(&mut self, pc: Addr, actual: Outcome, pred: &Prediction);
+
+    /// The array structures this predictor is built from, for the
+    /// power model.
+    fn storages(&self) -> Vec<Storage>;
+
+    /// A short human-readable description (e.g. `"gshare-16k/12"`).
+    fn describe(&self) -> String;
+
+    /// The speculative global history register, for predictors that
+    /// keep one. Debugging/verification hook.
+    #[doc(hidden)]
+    fn debug_ghr(&self) -> Option<u64> {
+        None
+    }
+
+    /// Total state bits across all storages.
+    fn total_bits(&self) -> u64 {
+        self.storages().iter().map(|s| s.spec.total_bits()).sum()
+    }
+}
+
+/// Extracts `bits` low bits of a PC's word index (the conventional
+/// branch-address hash input).
+#[must_use]
+pub(crate) fn pc_bits(pc: Addr, bits: u32) -> u64 {
+    let idx = pc.0 >> 2;
+    if bits >= 64 {
+        idx
+    } else {
+        idx & ((1u64 << bits) - 1)
+    }
+}
+
+/// `log2` of a power-of-two table size.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub(crate) fn log2_exact(n: u64) -> u32 {
+    assert!(
+        n.is_power_of_two(),
+        "table sizes must be powers of two (got {n})"
+    );
+    n.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_bits_masks_word_index() {
+        assert_eq!(pc_bits(Addr(0b11_0100), 3), 0b101);
+        assert_eq!(pc_bits(Addr(0x0), 8), 0);
+        assert_eq!(pc_bits(Addr(0xffff_fffc), 64), 0x3fff_ffff);
+    }
+
+    #[test]
+    fn log2_exact_works_and_rejects() {
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(16 * 1024), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn log2_rejects_non_powers() {
+        let _ = log2_exact(48);
+    }
+
+    #[test]
+    fn default_checkpoint_is_empty() {
+        let c = HistCheckpoint::default();
+        assert_eq!(c.ghr_before, 0);
+        assert_eq!(c.local_before, None);
+    }
+}

@@ -1,0 +1,466 @@
+//! Hybrid (tournament) predictors (McFarling; Chang/Hao/Patt).
+
+use crate::config::{HybridComponent, HybridConfig};
+use crate::counter::SatCounter;
+use crate::direction::{
+    log2_exact, pc_bits, DirectionPredictor, HistCheckpoint, PredMeta, Prediction, Storage,
+    StorageRole,
+};
+use bw_arrays::ArraySpec;
+use bw_types::{Addr, Outcome};
+
+/// A hybrid predictor: two component predictors run in parallel and a
+/// selector learns, per branch, which to believe.
+///
+/// Component A is always a global-history predictor (GAs-style concat
+/// or gshare XOR); component B is a local-history predictor (as in the
+/// Alpha 21264) or a bimodal table (as in the paper's `hybrid_0` used
+/// for pipeline gating). All three tables share one speculative global
+/// history register.
+///
+/// The prediction exposes whether the components agreed — the paper's
+/// "both strong" confidence estimate for pipeline gating uses exactly
+/// this signal and thus needs no extra hardware.
+///
+/// # Examples
+///
+/// ```
+/// use bw_predictors::{DirectionPredictor, Hybrid, HybridConfig};
+///
+/// let mut p = Hybrid::new(&HybridConfig::alpha_21264());
+/// let (pred, _ck) = p.lookup(bw_types::Addr(0x800));
+/// assert!(pred.components_agree.is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hybrid {
+    ghr: u64,
+    // Selector.
+    selector: Vec<SatCounter>,
+    sel_hist_bits: u32,
+    sel_index_bits: u32,
+    // Component A: global.
+    gpht: Vec<SatCounter>,
+    g_hist_bits: u32,
+    g_index_bits: u32,
+    g_xor: bool,
+    // Component B: local or bimodal.
+    local: Option<LocalComponent>,
+    bpht: Vec<SatCounter>, // bimodal table when `local` is None
+}
+
+#[derive(Clone, Debug)]
+struct LocalComponent {
+    bht: Vec<u32>,
+    bht_index_bits: u32,
+    hist_bits: u32,
+    pht: Vec<SatCounter>,
+    pht_index_bits: u32,
+}
+
+impl Hybrid {
+    /// Builds a hybrid predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table size is not a power of two or a history
+    /// width exceeds its index width.
+    #[must_use]
+    pub fn new(cfg: &HybridConfig) -> Self {
+        let sel_index_bits = log2_exact(cfg.selector_entries);
+        assert!(cfg.selector_hist_bits <= sel_index_bits);
+        let g_index_bits = log2_exact(cfg.global_entries);
+        assert!(cfg.global_hist_bits <= g_index_bits);
+        let (local, bpht) = match cfg.component {
+            HybridComponent::Local {
+                bht_entries,
+                hist_bits,
+                pht_entries,
+            } => (
+                Some(LocalComponent {
+                    bht: vec![0; bht_entries as usize],
+                    bht_index_bits: log2_exact(bht_entries),
+                    hist_bits,
+                    pht: vec![SatCounter::two_bit(); pht_entries as usize],
+                    pht_index_bits: log2_exact(pht_entries),
+                }),
+                Vec::new(),
+            ),
+            HybridComponent::Bimodal { entries } => {
+                let _ = log2_exact(entries);
+                (None, vec![SatCounter::two_bit(); entries as usize])
+            }
+        };
+        Hybrid {
+            ghr: 0,
+            selector: vec![SatCounter::two_bit(); cfg.selector_entries as usize],
+            sel_hist_bits: cfg.selector_hist_bits,
+            sel_index_bits,
+            gpht: vec![SatCounter::two_bit(); cfg.global_entries as usize],
+            g_hist_bits: cfg.global_hist_bits,
+            g_index_bits,
+            g_xor: cfg.global_xor,
+            local,
+            bpht,
+        }
+    }
+
+    /// The speculative global history register.
+    #[must_use]
+    pub fn ghr(&self) -> u64 {
+        self.ghr
+    }
+
+    fn sel_index(&self, pc: Addr, ghist: u64) -> usize {
+        concat_index(ghist, self.sel_hist_bits, pc, self.sel_index_bits)
+    }
+
+    fn g_index(&self, pc: Addr, ghist: u64) -> usize {
+        let hmask = (1u64 << self.g_hist_bits) - 1;
+        let h = ghist & hmask;
+        if self.g_xor {
+            (pc_bits(pc, self.g_index_bits) ^ (h << (self.g_index_bits - self.g_hist_bits)))
+                as usize
+        } else {
+            concat_index(ghist, self.g_hist_bits, pc, self.g_index_bits)
+        }
+    }
+
+    fn b_predict(&self, pc: Addr) -> (Outcome, bool, u32, u32) {
+        match &self.local {
+            Some(l) => {
+                let bi = pc_bits(pc, l.bht_index_bits) as u32;
+                let lhist = l.bht[bi as usize];
+                let counter = &l.pht[local_pht_index(l, pc, lhist)];
+                (counter.predict(), counter.is_strong(), lhist, bi)
+            }
+            None => {
+                let idx = pc_bits(pc, log2_exact(self.bpht.len() as u64)) as usize;
+                (self.bpht[idx].predict(), self.bpht[idx].is_strong(), 0, 0)
+            }
+        }
+    }
+}
+
+fn concat_index(ghist: u64, hist_bits: u32, pc: Addr, index_bits: u32) -> usize {
+    let hmask = if hist_bits == 0 {
+        0
+    } else {
+        (1u64 << hist_bits) - 1
+    };
+    let h = ghist & hmask;
+    let pc_part = index_bits - hist_bits;
+    ((h << pc_part) | pc_bits(pc, pc_part)) as usize
+}
+
+fn local_pht_index(l: &LocalComponent, pc: Addr, lhist: u32) -> usize {
+    let h_bits = l.hist_bits.min(l.pht_index_bits);
+    let h = u64::from(lhist) & ((1u64 << h_bits) - 1);
+    let pc_part = l.pht_index_bits - h_bits;
+    ((h << pc_part) | pc_bits(pc, pc_part)) as usize
+}
+
+impl DirectionPredictor for Hybrid {
+    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+        let ghist = self.ghr;
+        let g_out = self.gpht[self.g_index(pc, ghist)].predict();
+        let (b_out, _b_strong, lhist, bht_index) = self.b_predict(pc);
+        let use_global = self.selector[self.sel_index(pc, ghist)].selects_a();
+        let outcome = if use_global { g_out } else { b_out };
+        // The paper's "both strong" high-confidence estimate, as its
+        // Section 4.3 defines it: both component predictors give the
+        // same direction. (Requiring counter saturation as well flags
+        // far more branches low-confidence and over-gates.)
+        let both_strong = g_out == b_out;
+
+        // Speculative history update: shared GHR and (if present) the
+        // local BHT entry.
+        let local_before = self
+            .local
+            .as_ref()
+            .map(|l| (bht_index, l.bht[bht_index as usize]));
+        let ckpt = HistCheckpoint {
+            ghr_before: ghist,
+            local_before,
+        };
+        self.ghr = (self.ghr << 1) | outcome.as_bit();
+        if let Some(l) = self.local.as_mut() {
+            let e = &mut l.bht[bht_index as usize];
+            *e = (*e << 1) | outcome.as_bit() as u32;
+        }
+
+        (
+            Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist,
+                    lhist,
+                    bht_index,
+                },
+                components_agree: Some(both_strong),
+            },
+            ckpt,
+        )
+    }
+
+    fn predict_nonspec(&self, pc: Addr) -> Prediction {
+        let ghist = self.ghr;
+        let g_out = self.gpht[self.g_index(pc, ghist)].predict();
+        let (b_out, _b_strong, lhist, bht_index) = self.b_predict(pc);
+        let use_global = self.selector[self.sel_index(pc, ghist)].selects_a();
+        let outcome = if use_global { g_out } else { b_out };
+        Prediction {
+            outcome,
+            meta: PredMeta {
+                ghist,
+                lhist,
+                bht_index,
+            },
+            components_agree: Some(g_out == b_out),
+        }
+    }
+
+    fn repair(&mut self, ckpt: &HistCheckpoint) {
+        self.ghr = ckpt.ghr_before;
+        if let (Some(l), Some((bi, old))) = (self.local.as_mut(), ckpt.local_before) {
+            l.bht[bi as usize] = old;
+        }
+    }
+
+    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> HistCheckpoint {
+        let local_before = self.local.as_ref().map(|l| {
+            let bi = pc_bits(pc, l.bht_index_bits) as u32;
+            (bi, l.bht[bi as usize])
+        });
+        let ckpt = HistCheckpoint {
+            ghr_before: self.ghr,
+            local_before,
+        };
+        self.ghr = (self.ghr << 1) | outcome.as_bit();
+        if let (Some(l), Some((bi, _))) = (self.local.as_mut(), local_before) {
+            let e = &mut l.bht[bi as usize];
+            *e = (*e << 1) | outcome.as_bit() as u32;
+        }
+        ckpt
+    }
+
+    fn commit(&mut self, pc: Addr, actual: Outcome, pred: &Prediction) {
+        let ghist = pred.meta.ghist;
+        let gi = self.g_index(pc, ghist);
+        let g_correct = self.gpht[gi].predict() == actual;
+        self.gpht[gi].update(actual);
+
+        let b_correct = match self.local.as_mut() {
+            Some(l) => {
+                let idx = local_pht_index(l, pc, pred.meta.lhist);
+                let c = l.pht[idx].predict() == actual;
+                l.pht[idx].update(actual);
+                c
+            }
+            None => {
+                let idx = pc_bits(pc, log2_exact(self.bpht.len() as u64)) as usize;
+                let c = self.bpht[idx].predict() == actual;
+                self.bpht[idx].update(actual);
+                c
+            }
+        };
+
+        // Train the selector only when the components disagree.
+        if g_correct != b_correct {
+            let si = self.sel_index(pc, ghist);
+            self.selector[si].train_toward(g_correct);
+        }
+    }
+
+    fn storages(&self) -> Vec<Storage> {
+        let mut v = vec![
+            Storage {
+                role: StorageRole::Selector,
+                spec: ArraySpec::untagged(self.selector.len() as u64, 2),
+                reads_per_lookup: 1.0,
+                writes_per_update: 1.0,
+            },
+            Storage {
+                role: StorageRole::Pht,
+                spec: ArraySpec::untagged(self.gpht.len() as u64, 2),
+                reads_per_lookup: 1.0,
+                writes_per_update: 1.0,
+            },
+        ];
+        match &self.local {
+            Some(l) => {
+                v.push(Storage {
+                    role: StorageRole::Bht,
+                    spec: ArraySpec::untagged(l.bht.len() as u64, l.hist_bits),
+                    reads_per_lookup: 1.0,
+                    writes_per_update: 1.0,
+                });
+                v.push(Storage {
+                    role: StorageRole::Pht,
+                    spec: ArraySpec::untagged(l.pht.len() as u64, 2),
+                    reads_per_lookup: 1.0,
+                    writes_per_update: 1.0,
+                });
+            }
+            None => v.push(Storage {
+                role: StorageRole::Pht,
+                spec: ArraySpec::untagged(self.bpht.len() as u64, 2),
+                reads_per_lookup: 1.0,
+                writes_per_update: 1.0,
+            }),
+        }
+        v
+    }
+
+    fn describe(&self) -> String {
+        let b = match &self.local {
+            Some(l) => format!("local-{}x{}/{}", l.bht.len(), l.hist_bits, l.pht.len()),
+            None => format!("bimodal-{}", self.bpht.len()),
+        };
+        format!(
+            "hybrid(sel-{}/{}, global-{}/{}{}, {b})",
+            self.selector.len(),
+            self.sel_hist_bits,
+            self.gpht.len(),
+            self.g_hist_bits,
+            if self.g_xor { "x" } else { "" },
+        )
+    }
+
+    fn debug_ghr(&self) -> Option<u64> {
+        Some(self.ghr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_types::Outcome::{NotTaken, Taken};
+
+    fn drive(p: &mut dyn DirectionPredictor, seq: &[(Addr, Outcome)], warmup: usize) -> f64 {
+        let (mut correct, mut scored) = (0usize, 0usize);
+        for (i, &(pc, actual)) in seq.iter().enumerate() {
+            let (pred, ckpt) = p.lookup(pc);
+            if pred.outcome != actual {
+                p.repair(&ckpt);
+                p.spec_push(pc, actual);
+            }
+            if i >= warmup {
+                scored += 1;
+                if pred.outcome == actual {
+                    correct += 1;
+                }
+            }
+            p.commit(pc, actual, &pred);
+        }
+        correct as f64 / scored as f64
+    }
+
+    #[test]
+    fn hybrid_beats_both_components_on_mixed_workload() {
+        // Branch L follows a local period-6 pattern; branch G follows
+        // the previous outcome of branch X (global correlation).
+        let (l, g, x) = (Addr(0x100), Addr(0x200), Addr(0x300));
+        let mut seq = Vec::new();
+        for i in 0..6000u64 {
+            let x_out = Outcome::from_bool((i / 2) % 2 == 0);
+            seq.push((x, x_out));
+            seq.push((g, x_out));
+            seq.push((l, Outcome::from_bool(i % 6 != 5)));
+        }
+        let mut hybrid = Hybrid::new(&HybridConfig::alpha_21264());
+        let acc_h = drive(&mut hybrid, &seq, 3000);
+        let mut gshare = crate::TwoLevelGlobal::gshare(4096, 12);
+        let acc_g = drive(&mut gshare, &seq, 3000);
+        let mut pas = crate::TwoLevelLocal::new(1024, 10, 1024);
+        let acc_p = drive(&mut pas, &seq, 3000);
+        assert!(acc_h > 0.95, "hybrid should nail this workload ({acc_h})");
+        assert!(
+            acc_h + 1e-9 >= acc_g.min(acc_p),
+            "hybrid ({acc_h}) >= min components"
+        );
+    }
+
+    #[test]
+    fn selector_learns_per_branch_preference() {
+        // One branch purely local-patterned (period 7), one purely
+        // correlated: the selector must route each to its specialist.
+        let (l, a, b) = (Addr(0x40), Addr(0x80), Addr(0xc0));
+        let mut seq = Vec::new();
+        for i in 0..8000u64 {
+            let a_out = Outcome::from_bool(i % 2 == 0);
+            seq.push((a, a_out));
+            seq.push((b, a_out)); // correlated with a
+            seq.push((l, Outcome::from_bool(i % 7 != 6)));
+        }
+        let mut hybrid = Hybrid::new(&HybridConfig::alpha_21264());
+        let acc = drive(&mut hybrid, &seq, 4000);
+        assert!(acc > 0.96, "hybrid with working selector ({acc})");
+    }
+
+    #[test]
+    fn components_agree_signal() {
+        let mut p = Hybrid::new(&HybridConfig::alpha_21264());
+        let pc = Addr(0x10);
+        // Train heavily taken with the proper repair protocol so the
+        // speculative histories track the architectural outcome.
+        for _ in 0..200 {
+            let (pred, ckpt) = p.lookup(pc);
+            if !pred.outcome.is_taken() {
+                p.repair(&ckpt);
+                p.spec_push(pc, Taken);
+            }
+            p.commit(pc, Taken, &pred);
+        }
+        let (pred, _) = p.lookup(pc);
+        assert_eq!(pred.components_agree, Some(true));
+        assert!(pred.outcome.is_taken());
+    }
+
+    #[test]
+    fn ghr_and_bht_repair_roundtrip() {
+        let mut p = Hybrid::new(&HybridConfig::alpha_21264());
+        // Establish some state.
+        for i in 0..50u64 {
+            let pc = Addr(0x1000 + i * 8);
+            let (pred, _) = p.lookup(pc);
+            p.commit(pc, Outcome::from_bool(i % 3 == 0), &pred);
+        }
+        let ghr = p.ghr();
+        let bht_snapshot = p.local.as_ref().unwrap().bht.clone();
+        let mut ckpts = Vec::new();
+        for i in 0..20u64 {
+            let (_, ck) = p.lookup(Addr(0x2000 + i * 4));
+            ckpts.push(ck);
+        }
+        for ck in ckpts.iter().rev() {
+            p.repair(ck);
+        }
+        assert_eq!(p.ghr(), ghr);
+        assert_eq!(p.local.as_ref().unwrap().bht, bht_snapshot);
+    }
+
+    #[test]
+    fn bimodal_component_variant_works() {
+        let cfg = HybridConfig::tiny_hybrid0();
+        let mut p = Hybrid::new(&cfg);
+        let pc = Addr(0x20);
+        for _ in 0..8 {
+            let (pred, _) = p.lookup(pc);
+            p.commit(pc, NotTaken, &pred);
+        }
+        let (pred, _) = p.lookup(pc);
+        assert!(!pred.outcome.is_taken());
+        assert!(pred.components_agree.is_some());
+        // Storage list: selector + global + bimodal = 3 arrays.
+        assert_eq!(p.storages().len(), 3);
+    }
+
+    #[test]
+    fn alpha_config_storage_inventory() {
+        let p = Hybrid::new(&HybridConfig::alpha_21264());
+        let s = p.storages();
+        assert_eq!(s.len(), 4, "selector, global PHT, BHT, local PHT");
+        // 4K*2 + 4K*2 + 1K*10 + 1K*2 bits.
+        assert_eq!(p.total_bits(), 8192 + 8192 + 10240 + 2048);
+    }
+}

@@ -1,0 +1,197 @@
+//! The prediction probe detector (PPD) — Section 4.2 of the paper.
+
+use crate::direction::{Storage, StorageRole};
+use bw_arrays::ArraySpec;
+use bw_types::Addr;
+
+/// The two pre-decode bits the PPD stores per I-cache line.
+///
+/// One bit controls the direction-predictor lookup ("does this line
+/// contain a conditional branch?"), the other the BTB lookup ("does it
+/// contain *any* control-flow instruction?").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PpdBits {
+    /// The line contains at least one conditional branch: the
+    /// direction predictor must be probed.
+    pub has_cond: bool,
+    /// The line contains at least one CTI of any kind: the BTB must be
+    /// probed.
+    pub has_cti: bool,
+}
+
+impl PpdBits {
+    /// The conservative value: probe everything. Used for lines whose
+    /// pre-decode bits have not been computed yet.
+    pub const CONSERVATIVE: PpdBits = PpdBits {
+        has_cond: true,
+        has_cti: true,
+    };
+}
+
+/// The prediction probe detector: a small table with exactly one
+/// two-bit entry per I-cache line, consulted every fetch cycle
+/// *instead of* unconditionally probing the direction predictor and
+/// BTB.
+///
+/// The PPD is filled with fresh pre-decode bits while the I-cache line
+/// is refilled after a miss; until then its entries are conservative.
+/// Because the average distance between control-flow instructions is
+/// about 12 instructions (Figure 14) while fetch reads 8-instruction
+/// lines, a large fraction of fetch cycles need neither structure —
+/// which is where the 40–60 % predictor energy savings come from.
+///
+/// # Examples
+///
+/// ```
+/// use bw_predictors::{Ppd, PpdBits};
+/// use bw_types::Addr;
+///
+/// // 64 KB I-cache with 32-byte lines -> 2048 PPD entries.
+/// let mut ppd = Ppd::new(2048, 32);
+/// let pc = Addr(0x1_0000);
+/// assert_eq!(ppd.lookup(pc), PpdBits::CONSERVATIVE);
+/// ppd.on_refill(pc, PpdBits { has_cond: false, has_cti: false });
+/// assert!(!ppd.lookup(pc).has_cond);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ppd {
+    lines: Vec<PpdBits>,
+    line_bytes: u64,
+}
+
+impl Ppd {
+    /// A PPD with `entries` entries (one per I-cache line of
+    /// `line_bytes` bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `line_bytes` is not a multiple
+    /// of the instruction size.
+    #[must_use]
+    pub fn new(entries: u64, line_bytes: u64) -> Self {
+        assert!(entries > 0, "PPD needs entries");
+        assert!(
+            line_bytes >= 4 && line_bytes.is_multiple_of(4),
+            "line bytes must hold instructions"
+        );
+        Ppd {
+            lines: vec![PpdBits::CONSERVATIVE; entries as usize],
+            line_bytes,
+        }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        (pc.line_index(self.line_bytes) % self.lines.len() as u64) as usize
+    }
+
+    /// Reads the control bits for the line containing `pc`. This is
+    /// the access charged every fetch cycle in place of the larger
+    /// structures.
+    #[must_use]
+    pub fn lookup(&self, pc: Addr) -> PpdBits {
+        self.lines[self.index(pc)]
+    }
+
+    /// Installs pre-decode bits for the line containing `pc`, as part
+    /// of an I-cache refill.
+    pub fn on_refill(&mut self, pc: Addr, bits: PpdBits) {
+        let idx = self.index(pc);
+        self.lines[idx] = bits;
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Array description for the power model: `entries` × 2 bits
+    /// (4 Kbits for the paper's 2048-line I-cache).
+    #[must_use]
+    pub fn storage(&self) -> Storage {
+        Storage {
+            role: StorageRole::Ppd,
+            spec: ArraySpec::untagged(self.entries(), 2),
+            reads_per_lookup: 1.0,
+            writes_per_update: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_conservative_everywhere() {
+        let ppd = Ppd::new(64, 32);
+        for i in 0..200u64 {
+            assert_eq!(ppd.lookup(Addr(i * 4)), PpdBits::CONSERVATIVE);
+        }
+    }
+
+    #[test]
+    fn refill_installs_line_bits() {
+        let mut ppd = Ppd::new(2048, 32);
+        let quiet = PpdBits {
+            has_cond: false,
+            has_cti: false,
+        };
+        ppd.on_refill(Addr(0x400), quiet);
+        // All 8 instruction slots of the line see the same bits.
+        for slot in 0..8u64 {
+            assert_eq!(ppd.lookup(Addr(0x400 + slot * 4)), quiet);
+        }
+        // The neighbouring line is untouched.
+        assert_eq!(ppd.lookup(Addr(0x420)), PpdBits::CONSERVATIVE);
+    }
+
+    #[test]
+    fn index_wraps_like_the_icache() {
+        let mut ppd = Ppd::new(16, 32); // 512-byte "cache"
+        let bits = PpdBits {
+            has_cond: true,
+            has_cti: false,
+        };
+        ppd.on_refill(Addr(0), bits);
+        // An address one full wrap later aliases onto the same entry.
+        assert_eq!(ppd.lookup(Addr(16 * 32)), bits);
+    }
+
+    #[test]
+    fn paper_sized_ppd_is_4_kbits() {
+        let ppd = Ppd::new(2048, 32);
+        assert_eq!(ppd.storage().spec.total_bits(), 4096);
+        assert_eq!(ppd.storage().role, StorageRole::Ppd);
+    }
+
+    #[test]
+    fn distinct_bit_combinations_roundtrip() {
+        let mut ppd = Ppd::new(64, 32);
+        let cases = [
+            PpdBits {
+                has_cond: false,
+                has_cti: false,
+            },
+            PpdBits {
+                has_cond: false,
+                has_cti: true,
+            },
+            PpdBits {
+                has_cond: true,
+                has_cti: true,
+            },
+        ];
+        for (i, &b) in cases.iter().enumerate() {
+            let pc = Addr(i as u64 * 32);
+            ppd.on_refill(pc, b);
+            assert_eq!(ppd.lookup(pc), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs entries")]
+    fn zero_entries_rejected() {
+        let _ = Ppd::new(0, 32);
+    }
+}

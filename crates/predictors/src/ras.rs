@@ -1,0 +1,208 @@
+//! The return-address stack, with top-of-stack repair.
+
+use crate::direction::{Storage, StorageRole};
+use bw_arrays::ArraySpec;
+use bw_types::Addr;
+
+/// A snapshot of RAS state taken when a prediction uses or changes the
+/// stack, sufficient to undo wrong-path pushes/pops (the TOS-pointer +
+/// TOS-content repair mechanism of Skadron et al. that the paper
+/// models).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RasCheckpoint {
+    tos: usize,
+    top: Addr,
+}
+
+/// A circular return-address stack.
+///
+/// Calls push their return address; returns pop the predicted target.
+/// The stack wraps on overflow (oldest entries are silently
+/// overwritten), as in real hardware.
+///
+/// # Examples
+///
+/// ```
+/// use bw_predictors::Ras;
+/// use bw_types::Addr;
+///
+/// let mut ras = Ras::new(32);
+/// let ck = ras.checkpoint();
+/// ras.push(Addr(0x104));
+/// assert_eq!(ras.pop(), Addr(0x104));
+/// ras.restore(ck); // wrong path undone
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ras {
+    stack: Vec<Addr>,
+    tos: usize,
+}
+
+impl Ras {
+    /// A RAS with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "RAS needs at least one entry");
+        Ras {
+            stack: vec![Addr(0); entries],
+            tos: 0,
+        }
+    }
+
+    /// Pushes a return address (speculatively, at fetch).
+    pub fn push(&mut self, ret: Addr) {
+        self.tos = (self.tos + 1) % self.stack.len();
+        self.stack[self.tos] = ret;
+    }
+
+    /// Pops the predicted return target (speculatively, at fetch).
+    pub fn pop(&mut self) -> Addr {
+        let v = self.stack[self.tos];
+        self.tos = (self.tos + self.stack.len() - 1) % self.stack.len();
+        v
+    }
+
+    /// Captures TOS pointer and content for later repair.
+    #[must_use]
+    pub fn checkpoint(&self) -> RasCheckpoint {
+        RasCheckpoint {
+            tos: self.tos,
+            top: self.stack[self.tos],
+        }
+    }
+
+    /// Restores a checkpoint (squash repair).
+    pub fn restore(&mut self, ck: RasCheckpoint) {
+        self.tos = ck.tos;
+        self.stack[self.tos] = ck.top;
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Array description for the power model (32-bit addresses).
+    #[must_use]
+    pub fn storage(&self) -> Storage {
+        Storage {
+            role: StorageRole::Ras,
+            spec: ArraySpec::untagged(self.stack.len() as u64, 32),
+            reads_per_lookup: 1.0,
+            writes_per_update: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut r = Ras::new(8);
+        r.push(Addr(0x10));
+        r.push(Addr(0x20));
+        r.push(Addr(0x30));
+        assert_eq!(r.pop(), Addr(0x30));
+        assert_eq!(r.pop(), Addr(0x20));
+        assert_eq!(r.pop(), Addr(0x10));
+    }
+
+    #[test]
+    fn overflow_wraps_and_keeps_recent() {
+        let mut r = Ras::new(4);
+        for i in 1..=6u64 {
+            r.push(Addr(i * 0x10));
+        }
+        // The four most recent survive.
+        assert_eq!(r.pop(), Addr(0x60));
+        assert_eq!(r.pop(), Addr(0x50));
+        assert_eq!(r.pop(), Addr(0x40));
+        assert_eq!(r.pop(), Addr(0x30));
+    }
+
+    #[test]
+    fn checkpoint_undoes_wrong_path_pop() {
+        let mut r = Ras::new(8);
+        r.push(Addr(0xaa));
+        let ck = r.checkpoint();
+        // Wrong path pops and pushes garbage.
+        let _ = r.pop();
+        r.push(Addr(0xdead));
+        r.restore(ck);
+        assert_eq!(r.pop(), Addr(0xaa));
+    }
+
+    #[test]
+    fn checkpoint_undoes_wrong_path_push() {
+        let mut r = Ras::new(8);
+        r.push(Addr(0x11));
+        r.push(Addr(0x22));
+        let ck = r.checkpoint();
+        r.push(Addr(0xbad));
+        r.restore(ck);
+        assert_eq!(r.pop(), Addr(0x22));
+        assert_eq!(r.pop(), Addr(0x11));
+    }
+
+    #[test]
+    fn storage_is_32_entries_for_paper_config() {
+        let r = Ras::new(32);
+        assert_eq!(r.entries(), 32);
+        assert_eq!(r.storage().spec.total_bits(), 32 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Ras::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn balanced_call_return_within_capacity_matches_a_vec(
+            depth in 1usize..16,
+        ) {
+            let mut r = Ras::new(32);
+            let mut model = Vec::new();
+            for i in 0..depth {
+                let a = Addr((i as u64 + 1) * 4);
+                r.push(a);
+                model.push(a);
+            }
+            while let Some(expect) = model.pop() {
+                prop_assert_eq!(r.pop(), expect);
+            }
+        }
+
+        #[test]
+        fn single_level_repair_roundtrip(
+            prefix in proptest::collection::vec(0u64..1000, 0..20),
+            wrong in proptest::collection::vec(any::<bool>(), 1..10),
+        ) {
+            let mut r = Ras::new(16);
+            for &a in &prefix {
+                r.push(Addr(a * 4));
+            }
+            let ck = r.checkpoint();
+            let top_before = { let mut c = r.clone(); c.pop() };
+            for &p in &wrong {
+                if p { r.push(Addr(0xbad0)); } else { let _ = r.pop(); }
+            }
+            r.restore(ck);
+            prop_assert_eq!(r.pop(), top_before);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Two-level adaptive predictors: global (GAs/gshare) and local (PAs).
+
+use crate::counter::SatCounter;
+use crate::direction::{
+    log2_exact, pc_bits, DirectionPredictor, HistCheckpoint, PredMeta, Prediction, Storage,
+    StorageRole,
+};
+use bw_arrays::ArraySpec;
+use bw_types::{Addr, Outcome};
+
+/// A global-history two-level predictor: GAs (history concatenated
+/// with PC bits) or gshare (history XORed into the index).
+///
+/// Global history detects and predicts sequences of *correlated*
+/// branches. gshare's XOR lets the full history length share the index
+/// with the full address, so it usually edges out GAs at equal size
+/// (Figure 5).
+///
+/// # Examples
+///
+/// ```
+/// use bw_predictors::{DirectionPredictor, TwoLevelGlobal};
+/// use bw_types::{Addr, Outcome};
+///
+/// // The UltraSPARC-III configuration: 16K entries, 12 history bits.
+/// let mut p = TwoLevelGlobal::gshare(16 * 1024, 12);
+/// let (pred, _ck) = p.lookup(Addr(0x100));
+/// p.commit(Addr(0x100), Outcome::Taken, &pred);
+/// assert_eq!(p.describe(), "gshare-16384/12");
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoLevelGlobal {
+    pht: Vec<SatCounter>,
+    ghr: u64,
+    hist_bits: u32,
+    index_bits: u32,
+    xor: bool,
+}
+
+impl TwoLevelGlobal {
+    /// A GAs predictor: `hist_bits` of history concatenated with PC
+    /// bits to index `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `hist_bits` exceeds
+    /// the index width.
+    #[must_use]
+    pub fn gas(entries: u64, hist_bits: u32) -> Self {
+        Self::new(entries, hist_bits, false)
+    }
+
+    /// A gshare predictor: history XORed with the branch address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `hist_bits` exceeds
+    /// the index width.
+    #[must_use]
+    pub fn gshare(entries: u64, hist_bits: u32) -> Self {
+        Self::new(entries, hist_bits, true)
+    }
+
+    fn new(entries: u64, hist_bits: u32, xor: bool) -> Self {
+        let index_bits = log2_exact(entries);
+        assert!(
+            hist_bits <= index_bits,
+            "history ({hist_bits}) cannot exceed index width ({index_bits})"
+        );
+        TwoLevelGlobal {
+            pht: vec![SatCounter::two_bit(); entries as usize],
+            ghr: 0,
+            hist_bits,
+            index_bits,
+            xor,
+        }
+    }
+
+    /// The current (speculative) global history register.
+    #[must_use]
+    pub fn ghr(&self) -> u64 {
+        self.ghr
+    }
+
+    fn index(&self, pc: Addr, ghist: u64) -> usize {
+        let hmask = (1u64 << self.hist_bits) - 1;
+        let h = ghist & hmask;
+        let idx = if self.xor {
+            // Align history to the top of the index so short histories
+            // perturb the high bits (McFarling's gshare).
+            pc_bits(pc, self.index_bits) ^ (h << (self.index_bits - self.hist_bits))
+        } else {
+            (h << (self.index_bits - self.hist_bits))
+                | pc_bits(pc, self.index_bits - self.hist_bits)
+        };
+        idx as usize
+    }
+}
+
+impl DirectionPredictor for TwoLevelGlobal {
+    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+        let ghist = self.ghr;
+        let outcome = self.pht[self.index(pc, ghist)].predict();
+        let ckpt = HistCheckpoint {
+            ghr_before: ghist,
+            local_before: None,
+        };
+        self.ghr = (self.ghr << 1) | outcome.as_bit();
+        (
+            Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist,
+                    lhist: 0,
+                    bht_index: 0,
+                },
+                components_agree: None,
+            },
+            ckpt,
+        )
+    }
+
+    fn predict_nonspec(&self, pc: Addr) -> Prediction {
+        let ghist = self.ghr;
+        let outcome = self.pht[self.index(pc, ghist)].predict();
+        Prediction {
+            outcome,
+            meta: PredMeta {
+                ghist,
+                lhist: 0,
+                bht_index: 0,
+            },
+            components_agree: None,
+        }
+    }
+
+    fn repair(&mut self, ckpt: &HistCheckpoint) {
+        self.ghr = ckpt.ghr_before;
+    }
+
+    fn spec_push(&mut self, _pc: Addr, outcome: Outcome) -> HistCheckpoint {
+        let ckpt = HistCheckpoint {
+            ghr_before: self.ghr,
+            local_before: None,
+        };
+        self.ghr = (self.ghr << 1) | outcome.as_bit();
+        ckpt
+    }
+
+    fn commit(&mut self, pc: Addr, actual: Outcome, pred: &Prediction) {
+        let idx = self.index(pc, pred.meta.ghist);
+        self.pht[idx].update(actual);
+    }
+
+    fn storages(&self) -> Vec<Storage> {
+        vec![Storage {
+            role: StorageRole::Pht,
+            spec: ArraySpec::untagged(self.pht.len() as u64, 2),
+            reads_per_lookup: 1.0,
+            writes_per_update: 1.0,
+        }]
+    }
+
+    fn describe(&self) -> String {
+        let kind = if self.xor { "gshare" } else { "gas" };
+        format!("{kind}-{}/{}", self.pht.len(), self.hist_bits)
+    }
+
+    fn debug_ghr(&self) -> Option<u64> {
+        Some(self.ghr)
+    }
+}
+
+/// A local-history (PAs) two-level predictor: a BHT of per-branch
+/// history registers indexes a shared PHT.
+///
+/// Local history exposes patterns in individual branches (loop trip
+/// counts, alternations) that global history dilutes, at the cost of
+/// being blind to cross-branch correlation.
+///
+/// # Examples
+///
+/// ```
+/// use bw_predictors::{DirectionPredictor, TwoLevelLocal};
+///
+/// // The paper's first PAs configuration: 1K x 4-bit BHT, 2K PHT.
+/// let p = TwoLevelLocal::new(1024, 4, 2048);
+/// assert_eq!(p.total_bits(), 1024 * 4 + 2048 * 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwoLevelLocal {
+    bht: Vec<u32>,
+    bht_index_bits: u32,
+    hist_bits: u32,
+    pht: Vec<SatCounter>,
+    pht_index_bits: u32,
+}
+
+impl TwoLevelLocal {
+    /// A PAs predictor with `bht_entries` history registers of
+    /// `hist_bits` bits and a `pht_entries` counter table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table sizes are not powers of two or `hist_bits` is 0
+    /// or exceeds 32.
+    #[must_use]
+    pub fn new(bht_entries: u64, hist_bits: u32, pht_entries: u64) -> Self {
+        assert!(
+            (1..=32).contains(&hist_bits),
+            "local history width {hist_bits} out of range"
+        );
+        TwoLevelLocal {
+            bht: vec![0; bht_entries as usize],
+            bht_index_bits: log2_exact(bht_entries),
+            hist_bits,
+            pht: vec![SatCounter::two_bit(); pht_entries as usize],
+            pht_index_bits: log2_exact(pht_entries),
+        }
+    }
+
+    fn bht_index(&self, pc: Addr) -> u32 {
+        pc_bits(pc, self.bht_index_bits) as u32
+    }
+
+    fn pht_index(&self, pc: Addr, lhist: u32) -> usize {
+        let hmask = (1u32 << self.hist_bits.min(31)) - 1;
+        let h = u64::from(lhist & hmask);
+        let h_bits = self.hist_bits.min(self.pht_index_bits);
+        let pc_part = self.pht_index_bits - h_bits;
+        let idx = ((h & ((1 << h_bits) - 1)) << pc_part) | pc_bits(pc, pc_part);
+        idx as usize
+    }
+}
+
+impl DirectionPredictor for TwoLevelLocal {
+    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+        let bi = self.bht_index(pc);
+        let lhist = self.bht[bi as usize];
+        let outcome = self.pht[self.pht_index(pc, lhist)].predict();
+        let ckpt = HistCheckpoint {
+            ghr_before: 0,
+            local_before: Some((bi, lhist)),
+        };
+        self.bht[bi as usize] = (lhist << 1) | outcome.as_bit() as u32;
+        (
+            Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist: 0,
+                    lhist,
+                    bht_index: bi,
+                },
+                components_agree: None,
+            },
+            ckpt,
+        )
+    }
+
+    fn predict_nonspec(&self, pc: Addr) -> Prediction {
+        let bi = self.bht_index(pc);
+        let lhist = self.bht[bi as usize];
+        let outcome = self.pht[self.pht_index(pc, lhist)].predict();
+        Prediction {
+            outcome,
+            meta: PredMeta {
+                ghist: 0,
+                lhist,
+                bht_index: bi,
+            },
+            components_agree: None,
+        }
+    }
+
+    fn repair(&mut self, ckpt: &HistCheckpoint) {
+        if let Some((bi, old)) = ckpt.local_before {
+            self.bht[bi as usize] = old;
+        }
+    }
+
+    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> HistCheckpoint {
+        let bi = self.bht_index(pc);
+        let old = self.bht[bi as usize];
+        let ckpt = HistCheckpoint {
+            ghr_before: 0,
+            local_before: Some((bi, old)),
+        };
+        self.bht[bi as usize] = (old << 1) | outcome.as_bit() as u32;
+        ckpt
+    }
+
+    fn commit(&mut self, pc: Addr, actual: Outcome, pred: &Prediction) {
+        let idx = self.pht_index(pc, pred.meta.lhist);
+        self.pht[idx].update(actual);
+    }
+
+    fn storages(&self) -> Vec<Storage> {
+        vec![
+            Storage {
+                role: StorageRole::Bht,
+                spec: ArraySpec::untagged(self.bht.len() as u64, self.hist_bits),
+                reads_per_lookup: 1.0,
+                // Speculative history shift at lookup plus no commit
+                // write: history lives in the BHT, counters in the PHT.
+                writes_per_update: 1.0,
+            },
+            Storage {
+                role: StorageRole::Pht,
+                spec: ArraySpec::untagged(self.pht.len() as u64, 2),
+                reads_per_lookup: 1.0,
+                writes_per_update: 1.0,
+            },
+        ]
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "pas-{}x{}/{}",
+            self.bht.len(),
+            self.hist_bits,
+            self.pht.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bw_types::Outcome::{NotTaken, Taken};
+
+    /// Drives a predictor through a sequence of (pc, outcome) pairs on
+    /// the correct path (predict, spec-history already in lookup,
+    /// repair-on-mispredict like the core would, commit) and returns
+    /// the accuracy.
+    fn drive(p: &mut dyn DirectionPredictor, seq: &[(Addr, Outcome)], warmup: usize) -> f64 {
+        let mut correct = 0usize;
+        let mut scored = 0usize;
+        for (i, &(pc, actual)) in seq.iter().enumerate() {
+            let (pred, ckpt) = p.lookup(pc);
+            if pred.outcome != actual {
+                // Mispredict: repair speculative history, re-insert
+                // the actual outcome.
+                p.repair(&ckpt);
+                p.spec_push(pc, actual);
+            }
+            if i >= warmup {
+                scored += 1;
+                if pred.outcome == actual {
+                    correct += 1;
+                }
+            }
+            p.commit(pc, actual, &pred);
+        }
+        correct as f64 / scored as f64
+    }
+
+    #[test]
+    fn gshare_learns_global_correlation() {
+        // Branch B's outcome equals branch A's previous outcome: pure
+        // first-order global correlation.
+        let a = Addr(0x100);
+        let b = Addr(0x200);
+        let mut seq = Vec::new();
+        for i in 0..2000 {
+            let a_out = if (i / 3) % 2 == 0 { Taken } else { NotTaken };
+            seq.push((a, a_out));
+            seq.push((b, a_out));
+        }
+        let mut gshare = TwoLevelGlobal::gshare(4096, 8);
+        let acc = drive(&mut gshare, &seq, 400);
+        assert!(acc > 0.93, "gshare must learn correlation (acc {acc})");
+
+        let mut bimodal = crate::Bimodal::new(4096);
+        let acc_b = drive(&mut bimodal, &seq, 400);
+        assert!(
+            acc_b < acc - 0.1,
+            "bimodal ({acc_b}) must trail gshare ({acc})"
+        );
+    }
+
+    #[test]
+    fn gas_learns_short_correlation() {
+        let a = Addr(0x100);
+        let b = Addr(0x204);
+        let mut seq = Vec::new();
+        for i in 0..3000 {
+            let a_out = Outcome::from_bool(i % 2 == 0);
+            seq.push((a, a_out));
+            seq.push((b, a_out));
+        }
+        let mut gas = TwoLevelGlobal::gas(4096, 5);
+        let acc = drive(&mut gas, &seq, 500);
+        assert!(
+            acc > 0.95,
+            "GAs with 5 history bits learns a 1-deep correlation ({acc})"
+        );
+    }
+
+    #[test]
+    fn pas_learns_loop_pattern_bimodal_cannot() {
+        // A 5-iteration loop: T T T T N repeating.
+        let pc = Addr(0x300);
+        let mut seq = Vec::new();
+        for i in 0..4000 {
+            seq.push((pc, Outcome::from_bool(i % 5 != 4)));
+        }
+        let mut pas = TwoLevelLocal::new(1024, 8, 4096);
+        let acc = drive(&mut pas, &seq, 1000);
+        assert!(acc > 0.97, "PAs must learn a period-5 loop ({acc})");
+
+        let mut bimodal = crate::Bimodal::new(1024);
+        let acc_b = drive(&mut bimodal, &seq, 1000);
+        assert!(
+            acc_b < 0.85,
+            "bimodal caps at ~4/5 on a period-5 loop ({acc_b})"
+        );
+    }
+
+    #[test]
+    fn global_history_repair_roundtrip() {
+        let mut p = TwoLevelGlobal::gshare(1024, 10);
+        // Seed a distinctive history so shifts are observable.
+        p.spec_push(Addr(0), Taken);
+        p.spec_push(Addr(0), NotTaken);
+        p.spec_push(Addr(0), Taken);
+        let before = p.ghr();
+        let (_, ck1) = p.lookup(Addr(0x10));
+        let (_, ck2) = p.lookup(Addr(0x20));
+        assert_ne!(p.ghr(), before, "speculative shifts happened");
+        // Squash both, youngest first.
+        p.repair(&ck2);
+        p.repair(&ck1);
+        assert_eq!(p.ghr(), before);
+    }
+
+    #[test]
+    fn local_history_repair_roundtrip() {
+        let mut p = TwoLevelLocal::new(256, 6, 1024);
+        let pc = Addr(0x44);
+        // Make the history register nonzero so the shift is visible.
+        p.spec_push(pc, Taken);
+        let bi = p.bht_index(pc) as usize;
+        let before = p.bht[bi];
+        let (_, ck) = p.lookup(pc);
+        assert_ne!(p.bht[bi], before);
+        p.repair(&ck);
+        assert_eq!(p.bht[bi], before);
+    }
+
+    #[test]
+    fn spec_push_inserts_actual_outcome() {
+        let mut p = TwoLevelGlobal::gshare(1024, 10);
+        p.spec_push(Addr(0), Taken);
+        assert_eq!(p.ghr() & 1, 1);
+        p.spec_push(Addr(0), NotTaken);
+        assert_eq!(p.ghr() & 1, 0);
+    }
+
+    #[test]
+    fn storages_and_bits() {
+        let g = TwoLevelGlobal::gshare(16 * 1024, 12);
+        assert_eq!(g.total_bits(), 32 * 1024);
+        let l = TwoLevelLocal::new(4096, 8, 16 * 1024);
+        assert_eq!(l.total_bits(), 4096 * 8 + 16 * 1024 * 2);
+        assert_eq!(l.storages().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed index width")]
+    fn history_wider_than_index_rejected() {
+        let _ = TwoLevelGlobal::gshare(256, 10);
+    }
+
+    #[test]
+    fn index_stays_in_bounds_for_odd_geometries() {
+        // hist wider than PHT index: PAs truncates history.
+        let mut p = TwoLevelLocal::new(64, 16, 256);
+        for i in 0..1000u64 {
+            let pc = Addr(i * 4);
+            let (pred, _) = p.lookup(pc);
+            p.commit(pc, Outcome::from_bool(i % 3 == 0), &pred);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn repair_restores_exact_state(
+            ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..40)
+        ) {
+            let mut p = TwoLevelGlobal::gshare(1024, 10);
+            // Random prefix of real traffic.
+            for &(pc, t) in &ops {
+                let (pred, _) = p.lookup(Addr(pc * 4));
+                p.commit(Addr(pc * 4), Outcome::from_bool(t), &pred);
+            }
+            let ghr = p.ghr();
+            // A burst of speculative lookups, then squash them all.
+            let mut ckpts = Vec::new();
+            for &(pc, _) in &ops {
+                let (_, ck) = p.lookup(Addr(pc * 4 + 0x1000));
+                ckpts.push(ck);
+            }
+            for ck in ckpts.iter().rev() {
+                p.repair(ck);
+            }
+            prop_assert_eq!(p.ghr(), ghr);
+        }
+
+        #[test]
+        fn local_repair_restores_bht(
+            pcs in proptest::collection::vec(0u64..128, 1..30)
+        ) {
+            let mut p = TwoLevelLocal::new(128, 8, 512);
+            let snapshot = p.bht.clone();
+            let mut ckpts = Vec::new();
+            for &pc in &pcs {
+                let (_, ck) = p.lookup(Addr(pc * 4));
+                ckpts.push(ck);
+            }
+            for ck in ckpts.iter().rev() {
+                p.repair(ck);
+            }
+            prop_assert_eq!(p.bht, snapshot);
+        }
+    }
+}

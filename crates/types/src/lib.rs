@@ -1,0 +1,41 @@
+//! Shared primitive types for the `branchwatt` simulator.
+//!
+//! This crate defines the vocabulary types used throughout the
+//! reproduction of *Power Issues Related to Branch Prediction*
+//! (HPCA 2002): instruction addresses, branch outcomes, instruction
+//! operation classes and control-transfer kinds.
+//!
+//! Everything here is deliberately small, `Copy`, and dependency-free so
+//! the higher-level crates (`bw-arrays`, `bw-workload`, `bw-predictors`,
+//! `bw-uarch`, `bw-power`) can share it without coupling.
+//!
+//! # Examples
+//!
+//! ```
+//! use bw_types::{Addr, Outcome};
+//!
+//! let pc = Addr(0x12_0000);
+//! assert_eq!(pc.next(), Addr(0x12_0004));
+//! assert_eq!(Outcome::Taken.flip(), Outcome::NotTaken);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod inst;
+mod outcome;
+
+pub use addr::{Addr, INST_BYTES};
+pub use inst::{CtiKind, OpClass};
+pub use outcome::Outcome;
+
+/// A simulator cycle count.
+pub type Cycle = u64;
+
+/// A monotonically increasing instruction sequence number.
+///
+/// Sequence numbers order instructions in flight: every fetched
+/// instruction (correct-path or wrong-path) receives a fresh `Seq`, and
+/// squashing discards all entries younger than the mispredicted branch.
+pub type Seq = u64;

@@ -1,0 +1,420 @@
+//! Back-end stages: dispatch, issue, writeback (branch resolution and
+//! squash), and commit.
+
+use std::cmp::Reverse;
+
+use bw_types::{Addr, CtiKind, OpClass, Seq};
+
+use crate::inflight::{EntryState, FetchedInst, RuuEntry};
+use crate::machine::Machine;
+
+impl Machine<'_> {
+    /// Finds the RUU index of the entry with sequence number `seq`.
+    ///
+    /// The RUU is ordered by strictly increasing `seq` but may contain
+    /// gaps where squashed allocations used to be, so this is a binary
+    /// search rather than an offset computation.
+    fn entry_index(&self, seq: Seq) -> Option<usize> {
+        let front = self.ruu.front()?.fi.seq;
+        if seq < front {
+            return None;
+        }
+        let mut lo = 0usize;
+        let mut hi = self.ruu.len().min((seq - front + 1) as usize);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.ruu[mid].fi.seq.cmp(&seq) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Equal => return Some(mid),
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+
+    /// `true` if the producer with sequence number `seq` has a result
+    /// available (committed, squashed-gap, or completed in-window).
+    fn producer_done(&self, seq: Seq) -> bool {
+        match self.entry_index(seq) {
+            None => true,
+            Some(idx) => self.ruu[idx].state == EntryState::Completed,
+        }
+    }
+
+    /// Commit stage: retire completed instructions in order.
+    pub(crate) fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.ruu.front() else { break };
+            if head.state != EntryState::Completed {
+                break;
+            }
+            let entry = self.ruu.pop_front().expect("checked nonempty");
+            debug_assert!(
+                entry.fi.on_correct_path,
+                "wrong-path instruction reached commit (seq {})",
+                entry.fi.seq
+            );
+            if entry.is_mem() {
+                debug_assert_eq!(self.lsq.front(), Some(&entry.fi.seq));
+                self.lsq.pop_front();
+                if entry.fi.inst.op == OpClass::Store {
+                    // Stores write the D-cache at retirement.
+                    let addr = entry.fi.data_addr.expect("stores have addresses");
+                    self.act.dcache += 1;
+                    if !self.dcache.access(addr, true).hit {
+                        self.act.dcache2 += 1;
+                        self.l2.access(addr, true);
+                    }
+                }
+            }
+
+            self.stats.committed += 1;
+            self.committed_now += 1;
+
+            if let Some(cti) = entry.fi.inst.cti {
+                let branch = entry.fi.branch.expect("CTIs carry branch state");
+                let actual = branch.actual.expect("correct-path CTIs resolved");
+                self.stats.cti_committed += 1;
+                self.stats.cti_distance_sum += self.stats.committed - self.last_cti_at;
+                self.last_cti_at = self.stats.committed;
+                if actual.next_pc == branch.predicted_next {
+                    self.stats.cti_addr_correct += 1;
+                }
+                if cti.kind == CtiKind::CondBranch {
+                    self.stats.cond_committed += 1;
+                    self.stats.cond_distance_sum += self.stats.committed - self.last_cond_at;
+                    self.last_cond_at = self.stats.committed;
+                    let pred = branch
+                        .prediction
+                        .expect("conditional branches are predicted");
+                    if pred.outcome == actual.outcome {
+                        self.stats.cond_correct += 1;
+                    }
+                    self.predictor
+                        .commit(entry.fi.inst.pc, actual.outcome, &pred);
+                    if !self.cfg.speculative_history {
+                        // Commit-time history update (the baseline the
+                        // speculative scheme improves on).
+                        self.predictor.spec_push(entry.fi.inst.pc, actual.outcome);
+                    }
+                    self.bact.dir_updates += 1;
+                    if let Some(jrs) = &mut self.jrs {
+                        jrs.update(
+                            entry.fi.inst.pc,
+                            pred.meta.ghist,
+                            pred.outcome == actual.outcome,
+                        );
+                    }
+                }
+                if actual.outcome.is_taken() {
+                    match &mut self.nlp {
+                        Some(nlp) => nlp.train(entry.fi.inst.pc, actual.next_pc),
+                        None => self.btb.update(entry.fi.inst.pc, actual.next_pc),
+                    }
+                    self.bact.btb_updates += 1;
+                }
+            }
+        }
+    }
+
+    /// Writeback: drain due completions; resolve branches (squash +
+    /// redirect on mispredicts).
+    pub(crate) fn writeback(&mut self) {
+        while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
+            if cycle > self.cycle {
+                break;
+            }
+            self.completions.pop();
+            let Some(idx) = self.entry_index(seq) else {
+                continue;
+            };
+            let entry = &mut self.ruu[idx];
+            if entry.state != EntryState::Issued || entry.completes_at != cycle {
+                continue; // stale event from a squashed allocation
+            }
+            entry.state = EntryState::Completed;
+            self.act.window += 1;
+            self.act.resultbus += 1;
+            self.act.regfile += 1;
+
+            let fi = entry.fi;
+            if let Some(branch) = fi.branch {
+                if branch.low_conf {
+                    self.low_conf_inflight = self.low_conf_inflight.saturating_sub(1);
+                }
+                if branch.mispredicted && fi.on_correct_path {
+                    let actual = branch.actual.expect("correct-path branch resolved");
+                    self.squash_younger_than(seq);
+                    // Repair the offender's own speculative history and
+                    // re-insert the architectural outcome.
+                    if let (Some(ckpt), Some(pred)) = (branch.hist_ckpt, branch.prediction) {
+                        let _ = pred;
+                        self.predictor.repair(&ckpt);
+                        self.predictor.spec_push(fi.inst.pc, actual.outcome);
+                    }
+                    self.stats.squashes += 1;
+                    self.fetch_pc = actual.next_pc;
+                    self.on_correct_path = true;
+                    self.fetch_stall_until = self.cycle + 1;
+                }
+            }
+        }
+    }
+
+    /// Removes every in-flight instruction younger than `seq`,
+    /// repairing speculative predictor/RAS state youngest-first.
+    pub(crate) fn squash_younger_than(&mut self, seq: Seq) {
+        // Collect squashed instructions from all pipeline holding
+        // structures: fetch queue, decode pipe, RUU tail.
+        let mut squashed: Vec<FetchedInst> = Vec::new();
+        squashed.extend(self.fetch_queue.drain(..));
+        for stage in &mut self.decode_pipe {
+            squashed.append(stage);
+        }
+        while self.ruu.back().is_some_and(|e| e.fi.seq > seq) {
+            let e = self.ruu.pop_back().expect("checked nonempty");
+            squashed.push(e.fi);
+        }
+        self.lsq.retain(|&s| s <= seq);
+
+        self.stats.squashed_insts += squashed.len() as u64;
+        // Repair youngest-first.
+        squashed.sort_by_key(|fi| Reverse(fi.seq));
+        for fi in &squashed {
+            debug_assert!(fi.seq > seq);
+            if let Some(b) = &fi.branch {
+                if b.low_conf {
+                    self.low_conf_inflight = self.low_conf_inflight.saturating_sub(1);
+                }
+                if let Some(ckpt) = &b.hist_ckpt {
+                    self.predictor.repair(ckpt);
+                }
+                if let Some(rc) = b.ras_ckpt {
+                    self.ras.restore(rc);
+                }
+            }
+        }
+    }
+
+    /// Issue stage: wake ready instructions and start execution.
+    pub(crate) fn issue(&mut self) {
+        let mut total_left = self.cfg.issue_width;
+        let mut int_left = self.cfg.int_issue;
+        let mut fp_left = self.cfg.fp_issue;
+        let mut mem_left = self.cfg.mem_ports;
+        let mut mul_left = self.cfg.int_mul;
+        let mut fpmul_left = self.cfg.fp_mul;
+
+        for idx in 0..self.ruu.len() {
+            if total_left == 0 {
+                break;
+            }
+            // Wakeup.
+            if self.ruu[idx].state == EntryState::Waiting {
+                let deps = self.ruu[idx].deps;
+                let ready = deps.iter().flatten().all(|&p| self.producer_done(p));
+                if ready {
+                    self.ruu[idx].state = EntryState::Ready;
+                }
+            }
+            if self.ruu[idx].state != EntryState::Ready {
+                continue;
+            }
+
+            let op = self.ruu[idx].fi.inst.op;
+            // Port/FU availability.
+            let ok = match op {
+                OpClass::IntAlu | OpClass::Cti => int_left > 0,
+                OpClass::IntMul => int_left > 0 && mul_left > 0,
+                OpClass::FpAlu => fp_left > 0,
+                OpClass::FpMul => fp_left > 0 && fpmul_left > 0,
+                OpClass::Load | OpClass::Store => mem_left > 0,
+            };
+            if !ok {
+                continue;
+            }
+
+            // Loads: memory disambiguation against older stores.
+            if op == OpClass::Load {
+                let (can_issue, forwarded) = self.load_disambiguation(idx);
+                if !can_issue {
+                    continue;
+                }
+                let seq = self.ruu[idx].fi.seq;
+                let addr = self.ruu[idx].fi.data_addr.expect("loads have addresses");
+                let latency = if forwarded {
+                    1
+                } else {
+                    self.load_latency(addr)
+                };
+                let entry = &mut self.ruu[idx];
+                entry.state = EntryState::Issued;
+                entry.addr_known = true;
+                entry.completes_at = self.cycle + u64::from(latency);
+                self.completions.push(Reverse((entry.completes_at, seq)));
+                mem_left -= 1;
+            } else {
+                let latency = match op {
+                    OpClass::IntAlu | OpClass::Cti => 1,
+                    OpClass::IntMul => 3,
+                    OpClass::FpAlu => 2,
+                    OpClass::FpMul => 4,
+                    OpClass::Store => 1,
+                    OpClass::Load => unreachable!("handled above"),
+                };
+                let seq = self.ruu[idx].fi.seq;
+                let entry = &mut self.ruu[idx];
+                entry.state = EntryState::Issued;
+                if op == OpClass::Store {
+                    entry.addr_known = true;
+                    mem_left -= 1;
+                } else {
+                    match op {
+                        OpClass::IntAlu | OpClass::Cti => int_left -= 1,
+                        OpClass::IntMul => {
+                            int_left -= 1;
+                            mul_left -= 1;
+                        }
+                        OpClass::FpAlu => fp_left -= 1,
+                        OpClass::FpMul => {
+                            fp_left -= 1;
+                            fpmul_left -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+                entry.completes_at = self.cycle + latency;
+                self.completions.push(Reverse((entry.completes_at, seq)));
+            }
+
+            total_left -= 1;
+            self.issued_now += 1;
+            self.stats.executed += 1;
+            self.act.window += 1;
+            self.act.regfile += 2;
+            match op {
+                OpClass::IntAlu | OpClass::IntMul | OpClass::Cti => self.act.ialu += 1,
+                OpClass::FpAlu | OpClass::FpMul => self.act.falu += 1,
+                OpClass::Load | OpClass::Store => self.act.lsq += 1,
+            }
+        }
+    }
+
+    /// Checks whether the load at RUU index `idx` may issue.
+    /// Returns `(can_issue, forwarded_from_store)`.
+    fn load_disambiguation(&self, idx: usize) -> (bool, bool) {
+        let load = &self.ruu[idx];
+        let load_seq = load.fi.seq;
+        let load_addr = load.fi.data_addr.expect("loads have addresses");
+        let load_block = load_addr.0 & !7;
+        for &seq in &self.lsq {
+            if seq >= load_seq {
+                break;
+            }
+            let Some(sidx) = self.entry_index(seq) else {
+                continue;
+            };
+            let e = &self.ruu[sidx];
+            if e.fi.inst.op != OpClass::Store {
+                continue;
+            }
+            if !e.addr_known {
+                // Conservative: wait until all older store addresses
+                // are known.
+                return (false, false);
+            }
+            let saddr = e.fi.data_addr.expect("stores have addresses");
+            if saddr.0 & !7 == load_block {
+                return (true, true);
+            }
+        }
+        (true, false)
+    }
+
+    /// D-cache access latency for a load, charging activity.
+    fn load_latency(&mut self, addr: Addr) -> u32 {
+        let mut lat = self.cfg.l1d.hit_latency;
+        self.act.dcache += 1;
+        if !self.tlb.access(addr) {
+            lat += self.tlb.config().miss_penalty;
+        }
+        let l1 = self.dcache.access(addr, false);
+        if !l1.hit {
+            self.stats.dcache_misses += 1;
+            self.act.dcache2 += 1;
+            let l2r = self.l2.access(addr, false);
+            lat += if l2r.hit {
+                self.cfg.l2.hit_latency
+            } else {
+                self.cfg.mem_latency
+            };
+            if l1.writeback {
+                self.act.dcache2 += 1;
+            }
+        }
+        lat
+    }
+
+    /// Dispatch: move instructions from the decode/rename pipe into
+    /// the RUU and LSQ, then shift the pipe and refill from the fetch
+    /// buffer.
+    pub(crate) fn dispatch(&mut self) {
+        // Retire the oldest stage into the window.
+        let depth = self.decode_pipe.len();
+        let oldest = depth - 1;
+        while let Some(&fi) = self.decode_pipe[oldest].first() {
+            if self.ruu.len() >= self.cfg.ruu_size as usize {
+                break;
+            }
+            if fi.inst.op.is_mem() && self.lsq.len() >= self.cfg.lsq_size as usize {
+                break;
+            }
+            self.decode_pipe[oldest].remove(0);
+            let deps = compute_deps(&fi);
+            if fi.inst.op.is_mem() {
+                self.lsq.push_back(fi.seq);
+            }
+            let addr_known_at_dispatch = fi.inst.op == OpClass::Store;
+            debug_assert!(
+                self.ruu.back().is_none_or(|e| e.fi.seq < fi.seq),
+                "RUU must stay seq-ordered"
+            );
+            let mut entry = RuuEntry::new(fi, deps);
+            // Store addresses are produced by the address-generation
+            // path as soon as the store dispatches; the data operand is
+            // what the store may still wait on. Loads can therefore
+            // disambiguate against it immediately.
+            entry.addr_known = addr_known_at_dispatch;
+            self.ruu.push_back(entry);
+            self.act.rename += 1;
+            self.act.window += 1;
+        }
+
+        // Shift the latch pipeline where possible (in-order, rigid).
+        for i in (0..oldest).rev() {
+            if self.decode_pipe[i + 1].is_empty() && !self.decode_pipe[i].is_empty() {
+                let stage = std::mem::take(&mut self.decode_pipe[i]);
+                self.decode_pipe[i + 1] = stage;
+            }
+        }
+
+        // Decode: pull from the fetch buffer into stage 0.
+        if self.decode_pipe[0].is_empty() {
+            for _ in 0..self.cfg.decode_width {
+                let Some(fi) = self.fetch_queue.pop_front() else {
+                    break;
+                };
+                self.decode_pipe[0].push(fi);
+            }
+        }
+    }
+}
+
+/// Synthesizes RUU dependency links from an instruction's dependency
+/// distances.
+fn compute_deps(fi: &FetchedInst) -> [Option<Seq>; 2] {
+    let d = fi.inst.dep_distances();
+    let resolve =
+        |dist: Option<u8>| -> Option<Seq> { dist.and_then(|k| fi.seq.checked_sub(u64::from(k))) };
+    [resolve(d[0]), resolve(d[1])]
+}

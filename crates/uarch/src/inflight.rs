@@ -1,0 +1,85 @@
+//! In-flight instruction state: fetch-queue entries, RUU entries, LSQ
+//! entries.
+
+use bw_predictors::{HistCheckpoint, Prediction};
+use bw_types::{Addr, Cycle, Seq};
+use bw_workload::{DecodedInst, ResolvedCti};
+
+/// Checkpoint of RAS state (re-exported shape from `bw_predictors`).
+pub(crate) use bw_predictors::RasCheckpoint;
+
+/// Branch-related state carried by an in-flight CTI.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BranchState {
+    /// Direction prediction (conditional branches only).
+    pub prediction: Option<Prediction>,
+    /// Speculative-history checkpoint (conditional branches only).
+    pub hist_ckpt: Option<HistCheckpoint>,
+    /// RAS checkpoint for CTIs that pushed/popped the stack.
+    pub ras_ckpt: Option<RasCheckpoint>,
+    /// The next PC fetch proceeded to after this instruction.
+    pub predicted_next: Addr,
+    /// Architectural resolution (correct-path instructions only).
+    pub actual: Option<ResolvedCti>,
+    /// `true` if `predicted_next` differs from the architectural next
+    /// PC: resolving this branch redirects fetch and squashes.
+    pub mispredicted: bool,
+    /// `true` if the confidence estimator marked this branch low
+    /// confidence (pipeline gating).
+    pub low_conf: bool,
+}
+
+/// An instruction in the fetch buffer or decode/rename pipe.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FetchedInst {
+    pub inst: DecodedInst,
+    pub seq: Seq,
+    pub on_correct_path: bool,
+    /// Effective address for loads/stores (oracle on the correct path,
+    /// hashed on the wrong path).
+    pub data_addr: Option<Addr>,
+    pub branch: Option<BranchState>,
+}
+
+/// Execution state of an RUU entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EntryState {
+    /// Waiting on operands.
+    Waiting,
+    /// Operands ready; waiting for an issue slot.
+    Ready,
+    /// Issued; completion scheduled.
+    Issued,
+    /// Result available.
+    Completed,
+}
+
+/// One register-update-unit (instruction window) entry.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RuuEntry {
+    pub fi: FetchedInst,
+    pub state: EntryState,
+    /// Producer sequence numbers still outstanding.
+    pub deps: [Option<Seq>; 2],
+    /// For memory ops: whether the address has been computed (stores
+    /// publish their address at issue).
+    pub addr_known: bool,
+    /// Completion cycle once issued.
+    pub completes_at: Cycle,
+}
+
+impl RuuEntry {
+    pub fn new(fi: FetchedInst, deps: [Option<Seq>; 2]) -> Self {
+        RuuEntry {
+            fi,
+            state: EntryState::Waiting,
+            deps,
+            addr_known: false,
+            completes_at: 0,
+        }
+    }
+
+    pub fn is_mem(&self) -> bool {
+        self.fi.inst.op.is_mem()
+    }
+}

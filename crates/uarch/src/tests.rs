@@ -1,0 +1,381 @@
+//! End-to-end machine tests (debug assertions inside the pipeline —
+//! oracle pairing, commit-path purity, RUU ordering — all fire during
+//! these runs).
+
+use crate::{Machine, UarchConfig};
+use bw_power::PpdScenario;
+use bw_predictors::{HybridConfig, PredictorConfig};
+use bw_workload::benchmark;
+
+fn machine_for<'p>(
+    program: &'p bw_workload::StaticProgram,
+    model: &bw_workload::BenchmarkModel,
+    cfg: &UarchConfig,
+    pred: PredictorConfig,
+) -> Machine<'p> {
+    Machine::new(cfg, program, model, 7, pred)
+}
+
+#[test]
+fn runs_to_completion_with_plausible_ipc() {
+    let model = benchmark("gzip").unwrap();
+    let program = model.build_program(7);
+    let cfg = UarchConfig::alpha21264_like();
+    let mut m = machine_for(&program, model, &cfg, PredictorConfig::bimodal(4096));
+    m.warmup(20_000);
+    m.run(30_000);
+    let ipc = m.stats().ipc();
+    assert!((0.3..5.9).contains(&ipc), "IPC {ipc} out of range");
+    assert!(m.stats().fetched >= m.stats().committed);
+    assert!(m.stats().executed >= m.stats().committed);
+}
+
+#[test]
+fn pipeline_accuracy_matches_trace_accuracy() {
+    // The cycle-level machine's committed direction accuracy must be
+    // close to the trace-driven accuracy of the same predictor on the
+    // same program (speculative-history repair working correctly).
+    let model = benchmark("vortex").unwrap();
+    let program = model.build_program(3);
+    let cfg = UarchConfig::alpha21264_like();
+    let mut m = Machine::new(
+        &cfg,
+        &program,
+        model,
+        3,
+        PredictorConfig::bimodal(16 * 1024),
+    );
+    m.warmup(50_000);
+    m.run(50_000);
+    let acc = m.stats().direction_accuracy();
+    let target = model.bimod16k_target;
+    assert!(
+        (acc - target).abs() < 0.08,
+        "pipeline accuracy {acc:.4} too far from trace target {target:.4}"
+    );
+}
+
+#[test]
+fn better_predictor_gives_better_ipc() {
+    let model = benchmark("parser").unwrap();
+    let program = model.build_program(5);
+    let cfg = UarchConfig::alpha21264_like();
+
+    let mut tiny = Machine::new(&cfg, &program, model, 5, PredictorConfig::bimodal(128));
+    tiny.warmup(30_000);
+    tiny.run(40_000);
+
+    let mut big = Machine::new(
+        &cfg,
+        &program,
+        model,
+        5,
+        PredictorConfig::Hybrid(HybridConfig::alpha_21264()),
+    );
+    big.warmup(30_000);
+    big.run(40_000);
+
+    assert!(
+        big.stats().direction_accuracy() > tiny.stats().direction_accuracy() + 0.01,
+        "hybrid {:.4} must beat bimodal-128 {:.4}",
+        big.stats().direction_accuracy(),
+        tiny.stats().direction_accuracy()
+    );
+    assert!(
+        big.stats().ipc() > tiny.stats().ipc(),
+        "hybrid IPC {:.3} must beat bimodal-128 IPC {:.3}",
+        big.stats().ipc(),
+        tiny.stats().ipc()
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let model = benchmark("gcc").unwrap();
+    let program = model.build_program(9);
+    let cfg = UarchConfig::alpha21264_like();
+    let run = || {
+        let mut m = Machine::new(&cfg, &program, model, 9, PredictorConfig::gshare(4096, 8));
+        m.warmup(5_000);
+        m.run(20_000);
+        (
+            m.stats().cycles,
+            m.stats().fetched,
+            m.stats().cond_correct,
+            m.power_report().total_energy_j(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert!((a.3 - b.3).abs() < 1e-12);
+}
+
+#[test]
+fn mispredictions_cause_squashes_and_wrong_path_fetch() {
+    let model = benchmark("twolf").unwrap(); // low accuracy -> many squashes
+    let program = model.build_program(1);
+    let cfg = UarchConfig::alpha21264_like();
+    let mut m = Machine::new(&cfg, &program, model, 1, PredictorConfig::bimodal(256));
+    m.warmup(10_000);
+    m.run(30_000);
+    let s = m.stats();
+    assert!(
+        s.squashes > 100,
+        "expected many squashes, got {}",
+        s.squashes
+    );
+    assert!(
+        s.squashed_insts > s.squashes,
+        "squashes flush younger instructions"
+    );
+    assert!(
+        s.fetched > s.committed + s.squashed_insts / 2,
+        "wrong-path fetch volume should show up"
+    );
+}
+
+#[test]
+fn ppd_gates_a_large_fraction_of_lookups() {
+    let model = benchmark("gap").unwrap(); // sparse branches
+    let program = model.build_program(2);
+    let cfg = UarchConfig::alpha21264_like().with_ppd(PpdScenario::One);
+    let mut m = Machine::new(&cfg, &program, model, 2, PredictorConfig::gas(32 * 1024, 8));
+    m.warmup(40_000);
+    m.run(40_000);
+    let s = m.stats();
+    assert!(s.fetch_active_cycles > 0);
+    // With ~12-instruction CTI distances and 8-instruction lines, a
+    // large share of fetch cycles need no direction-predictor probe.
+    assert!(
+        s.ppd_dir_gate_rate() > 0.15,
+        "dir gate rate {:.3} too low",
+        s.ppd_dir_gate_rate()
+    );
+    assert!(
+        s.ppd_btb_gate_rate() > 0.10,
+        "btb gate rate {:.3} too low",
+        s.ppd_btb_gate_rate()
+    );
+    // Gating must not change committed behaviour: accuracy unaffected.
+    assert!(s.direction_accuracy() > 0.7);
+}
+
+#[test]
+fn ppd_reduces_bpred_energy_without_hurting_ipc() {
+    let model = benchmark("gzip").unwrap();
+    let program = model.build_program(4);
+    let pred = PredictorConfig::gas(32 * 1024, 8);
+
+    let base_cfg = UarchConfig::alpha21264_like();
+    let mut base = Machine::new(&base_cfg, &program, model, 4, pred);
+    base.warmup(20_000);
+    base.run(30_000);
+
+    let ppd_cfg = UarchConfig::alpha21264_like().with_ppd(PpdScenario::One);
+    let mut ppd = Machine::new(&ppd_cfg, &program, model, 4, pred);
+    ppd.warmup(20_000);
+    ppd.run(30_000);
+
+    let be = base.power_report().bpred_energy_j();
+    let pe = ppd.power_report().bpred_energy_j();
+    assert!(pe < be, "PPD must cut predictor energy: {pe} !< {be}");
+    let ipc_delta = (base.stats().ipc() - ppd.stats().ipc()).abs();
+    assert!(ipc_delta < 0.02, "PPD must not change IPC ({ipc_delta})");
+}
+
+#[test]
+fn pipeline_gating_reduces_wrongpath_fetch() {
+    let model = benchmark("twolf").unwrap();
+    let program = model.build_program(6);
+    let pred = PredictorConfig::Hybrid(HybridConfig::tiny_hybrid0());
+
+    let base_cfg = UarchConfig::alpha21264_like();
+    let mut base = Machine::new(&base_cfg, &program, model, 6, pred);
+    base.warmup(20_000);
+    base.run(30_000);
+
+    let gated_cfg = UarchConfig::alpha21264_like().with_gating(0);
+    let mut gated = Machine::new(&gated_cfg, &program, model, 6, pred);
+    gated.warmup(20_000);
+    gated.run(30_000);
+
+    assert!(gated.stats().gated_cycles > 0, "gating must engage");
+    assert!(
+        gated.stats().fetched < base.stats().fetched,
+        "gating must reduce fetch volume: {} !< {}",
+        gated.stats().fetched,
+        base.stats().fetched
+    );
+    // Gating costs some IPC.
+    assert!(gated.stats().ipc() <= base.stats().ipc() + 0.02);
+}
+
+#[test]
+fn power_report_has_paper_like_magnitudes() {
+    let model = benchmark("crafty").unwrap();
+    let program = model.build_program(8);
+    let cfg = UarchConfig::alpha21264_like();
+    let mut m = Machine::new(
+        &cfg,
+        &program,
+        model,
+        8,
+        PredictorConfig::gshare(16 * 1024, 12),
+    );
+    m.warmup(20_000);
+    m.run(40_000);
+    let r = m.power_report();
+    let total = r.avg_power_w();
+    let bpred = r.bpred_power_w();
+    assert!((15.0..55.0).contains(&total), "chip power {total} W");
+    assert!((0.5..8.0).contains(&bpred), "bpred power {bpred} W");
+    let share = bpred / total;
+    assert!((0.02..0.25).contains(&share), "bpred share {share}");
+}
+
+#[test]
+fn branch_frequencies_survive_the_pipeline() {
+    let model = benchmark("parser").unwrap();
+    let program = model.build_program(2);
+    let cfg = UarchConfig::alpha21264_like();
+    let mut m = Machine::new(&cfg, &program, model, 2, PredictorConfig::bimodal(4096));
+    m.warmup(10_000);
+    m.run(60_000);
+    let s = m.stats();
+    let freq = s.cond_branch_freq();
+    assert!(
+        (freq - model.cond_freq).abs() < model.cond_freq * 0.5 + 0.01,
+        "committed cond freq {freq:.4} vs model {:.4}",
+        model.cond_freq
+    );
+    assert!(s.avg_cond_distance() > 2.0);
+    assert!(s.avg_cti_distance() <= s.avg_cond_distance());
+}
+
+#[test]
+fn speculative_history_beats_commit_time_history() {
+    // The paper adopts Skadron et al.'s speculative update + repair;
+    // with history updated only at commit, deep pipelines predict with
+    // stale history and lose accuracy.
+    let model = benchmark("gap").unwrap(); // correlation-heavy
+    let program = model.build_program(3);
+    let pred = PredictorConfig::gshare(16 * 1024, 12);
+
+    let spec_cfg = UarchConfig::alpha21264_like();
+    let mut spec = Machine::new(&spec_cfg, &program, model, 3, pred);
+    spec.warmup(300_000);
+    spec.run(60_000);
+
+    let nonspec_cfg = UarchConfig::alpha21264_like().with_commit_time_history();
+    let mut nonspec = Machine::new(&nonspec_cfg, &program, model, 3, pred);
+    nonspec.warmup(300_000);
+    nonspec.run(60_000);
+
+    assert!(
+        spec.stats().direction_accuracy() > nonspec.stats().direction_accuracy() + 0.005,
+        "speculative {:.4} must beat commit-time {:.4}",
+        spec.stats().direction_accuracy(),
+        nonspec.stats().direction_accuracy()
+    );
+}
+
+#[test]
+fn jrs_gating_engages_on_any_predictor() {
+    let model = benchmark("twolf").unwrap();
+    let program = model.build_program(4);
+    let cfg = UarchConfig::alpha21264_like().with_jrs_gating(0);
+    let mut m = Machine::new(&cfg, &program, model, 4, PredictorConfig::gshare(4096, 8));
+    m.warmup(50_000);
+    m.run(30_000);
+    assert!(
+        m.stats().gated_cycles > 0,
+        "JRS gating must engage on a non-hybrid predictor"
+    );
+}
+
+#[test]
+fn next_line_predictor_front_end_works() {
+    // The 21264-style front end must sustain comparable IPC to the
+    // BTB machine while its target structure is far smaller.
+    let model = benchmark("gzip").unwrap();
+    let program = model.build_program(5);
+    let pred = PredictorConfig::Hybrid(HybridConfig::alpha_21264());
+
+    let btb_cfg = UarchConfig::alpha21264_like();
+    let mut btb = Machine::new(&btb_cfg, &program, model, 5, pred);
+    btb.warmup(200_000);
+    btb.run(50_000);
+
+    let nlp_cfg = UarchConfig::alpha21264_like().with_next_line_predictor();
+    let mut nlp = Machine::new(&nlp_cfg, &program, model, 5, pred);
+    nlp.warmup(200_000);
+    nlp.run(50_000);
+
+    let (bi, ni) = (btb.stats().ipc(), nlp.stats().ipc());
+    assert!(
+        ni > bi * 0.85,
+        "NLP IPC {ni:.3} too far below BTB IPC {bi:.3}"
+    );
+    assert!(
+        nlp.bpred_power().max_cycle_energy_j() < btb.bpred_power().max_cycle_energy_j(),
+        "the NLP front end must be cheaper per cycle"
+    );
+    // Direction accuracy is a property of the direction predictor, not
+    // the target structure.
+    assert!((nlp.stats().direction_accuracy() - btb.stats().direction_accuracy()).abs() < 0.01);
+}
+
+mod machine_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn machine_invariants_hold_across_configs(
+            bench_idx in 0usize..4,
+            pred_idx in 0usize..3,
+            seed in 1u64..50,
+        ) {
+            let names = ["gzip", "twolf", "swim", "vortex"];
+            let model = benchmark(names[bench_idx]).unwrap();
+            let program = model.build_program(seed);
+            let preds = [
+                PredictorConfig::bimodal(1024),
+                PredictorConfig::gshare(4096, 8),
+                PredictorConfig::Hybrid(HybridConfig::tiny_hybrid0()),
+            ];
+            let cfg = UarchConfig::alpha21264_like();
+            let mut m = Machine::new(&cfg, &program, model, seed, preds[pred_idx]);
+            m.warmup(20_000);
+            let committed = m.run(15_000);
+            let s = m.stats();
+            // Commit accounting.
+            prop_assert!(committed >= 15_000);
+            prop_assert_eq!(s.committed, committed);
+            // Volume ordering: everything fetched either commits,
+            // squashes, or is still in flight.
+            prop_assert!(s.fetched >= s.committed);
+            prop_assert!(s.fetched >= s.squashed_insts);
+            prop_assert!(s.executed >= s.committed);
+            // Branch accounting.
+            prop_assert!(s.cond_correct <= s.cond_committed);
+            prop_assert!(s.cond_committed <= s.cti_committed);
+            prop_assert!(s.cti_addr_correct <= s.cti_committed);
+            // Power accounting is strictly positive and the predictor
+            // never dominates the chip.
+            let r = m.power_report();
+            prop_assert!(r.total_energy_j() > 0.0);
+            prop_assert!(r.bpred_energy_j() > 0.0);
+            prop_assert!(r.bpred_energy_j() < r.total_energy_j() * 0.5);
+            // Re-pricing under the run's own options is exact.
+            let totals = m.bpred_totals();
+            let repriced = m.bpred_power().energy_for_totals(&totals);
+            prop_assert!((repriced - r.bpred_energy_j()).abs()
+                < 1e-9 * r.bpred_energy_j().max(1e-12));
+        }
+    }
+}

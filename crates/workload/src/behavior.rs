@@ -1,0 +1,351 @@
+//! Behaviour automata for conditional-branch sites.
+//!
+//! Each static conditional branch in a synthetic program carries one of
+//! these behaviours. The mix of behaviours is what differentiates the
+//! predictor organizations the paper studies: loop exits and local
+//! patterns reward per-branch (PAs) history, correlated sites reward
+//! global (GAs/gshare) history, biased sites are easy for everyone, and
+//! random sites are hard for everyone — exactly the structure behind the
+//! accuracy spreads in Table 2 and Figures 5/8.
+
+use crate::util::{mix2, unit_f64};
+use bw_types::Outcome;
+
+/// How many consecutive taken outcomes a site may produce before being
+/// forced not-taken once.
+///
+/// This liveness escape guarantees the architectural thread can never
+/// wedge in an unbreakable cycle (for example a correlated site whose
+/// parity input becomes constant inside its own loop). Real programs
+/// terminate loops the same way; the escape fires rarely enough (< 0.4%
+/// of executions) not to perturb predictor accuracy.
+pub const MAX_CONSECUTIVE_TAKEN: u32 = 255;
+
+/// The outcome-generating behaviour of one static conditional branch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Behavior {
+    /// Taken with fixed probability `p_taken` (independently per
+    /// execution). Strongly biased sites (`p` near 0 or 1) are what
+    /// bimodal predictors eat for breakfast; `p` near 0.5 models
+    /// data-dependent branches no predictor can learn.
+    Bernoulli {
+        /// Probability the branch is taken.
+        p_taken: f64,
+    },
+    /// Like [`Behavior::Bernoulli`] but minority outcomes arrive in
+    /// *bursts* (runs with geometric mean length `run_mean`) instead of
+    /// independently. Real biased branches deviate in phases, which
+    /// keeps the global-history contexts seen by other branches
+    /// repetitive — independent rare flips would flood history-based
+    /// predictors with never-repeating patterns.
+    Bursty {
+        /// Long-run probability the branch is taken.
+        p_taken: f64,
+        /// Mean length of a minority-outcome run.
+        run_mean: f64,
+    },
+    /// A loop-exit style branch: taken `period − 1` times, then
+    /// not-taken once. Learnable by local history of at least `period`
+    /// bits (and partially by global history in tight loops).
+    Loop {
+        /// Loop trip count (≥ 2).
+        period: u16,
+    },
+    /// Outcome is the parity of the masked *actual* global outcome
+    /// history, optionally inverted, with `noise` probability of
+    /// flipping. Learnable only by predictors whose global history
+    /// covers the mask span.
+    GlobalCorrelated {
+        /// Mask over the most recent global outcomes (bit 0 = most
+        /// recent).
+        mask: u16,
+        /// Invert the parity.
+        invert: bool,
+        /// Probability of flipping the deterministic outcome.
+        noise: f64,
+    },
+    /// Outcome follows a fixed repeating pattern private to the site
+    /// (bit `i % len` of `pattern`), with `noise` flip probability.
+    /// Learnable by per-branch (local) history.
+    LocalPattern {
+        /// The pattern bits (bit 0 first).
+        pattern: u32,
+        /// Pattern length in bits (1..=32).
+        len: u8,
+        /// Probability of flipping the deterministic outcome.
+        noise: f64,
+    },
+}
+
+impl Behavior {
+    /// `true` if the behaviour could produce unbounded runs of taken
+    /// outcomes without the liveness escape.
+    #[must_use]
+    pub fn needs_escape(&self) -> bool {
+        match *self {
+            Behavior::Bernoulli { p_taken } => p_taken > 0.99,
+            Behavior::Bursty { p_taken, .. } => p_taken > 0.99,
+            Behavior::Loop { .. } => false,
+            Behavior::GlobalCorrelated { .. } => true,
+            Behavior::LocalPattern { pattern, len, .. } => {
+                let m = if len >= 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << len) - 1
+                };
+                pattern & m == m
+            }
+        }
+    }
+}
+
+/// Mutable per-site execution state.
+#[derive(Clone, Debug, Default)]
+pub struct SiteState {
+    /// Number of times the site has executed (architecturally).
+    pub exec_count: u64,
+    /// Loop-position counter for [`Behavior::Loop`].
+    pub loop_pos: u16,
+    /// Consecutive taken outcomes, for the liveness escape.
+    pub consecutive_taken: u32,
+    /// `true` while a [`Behavior::Bursty`] site is inside a
+    /// minority-outcome run.
+    pub deviant: bool,
+}
+
+impl SiteState {
+    /// Computes the next architectural outcome of a site.
+    ///
+    /// `ghist` is the actual global outcome history (bit 0 = most
+    /// recent outcome of any conditional branch); `noise_draw` must be
+    /// a fresh uniform hash (the caller owns randomness so replays are
+    /// deterministic).
+    pub fn next_outcome(&mut self, behavior: &Behavior, ghist: u64, noise_draw: u64) -> Outcome {
+        let raw = match *behavior {
+            Behavior::Bernoulli { p_taken } => Outcome::from_bool(unit_f64(noise_draw) < p_taken),
+            Behavior::Bursty { p_taken, run_mean } => {
+                let major = p_taken >= 0.5;
+                let minor_frac = if major { 1.0 - p_taken } else { p_taken };
+                let leave = 1.0 / run_mean.max(1.0);
+                let enter = if minor_frac >= 0.5 {
+                    1.0
+                } else {
+                    (leave * minor_frac / (1.0 - minor_frac)).min(1.0)
+                };
+                let u = unit_f64(mix2(noise_draw, 0x6275_7273));
+                self.deviant = if self.deviant { u >= leave } else { u < enter };
+                Outcome::from_bool(major ^ self.deviant)
+            }
+            Behavior::Loop { period } => {
+                let period = period.max(2);
+                let taken = self.loop_pos + 1 < period;
+                self.loop_pos = if taken { self.loop_pos + 1 } else { 0 };
+                Outcome::from_bool(taken)
+            }
+            Behavior::GlobalCorrelated {
+                mask,
+                invert,
+                noise,
+            } => {
+                let parity = (ghist & u64::from(mask)).count_ones() % 2 == 1;
+                let mut taken = parity ^ invert;
+                if noise > 0.0 && unit_f64(mix2(noise_draw, 0x6e6f_6973)) < noise {
+                    taken = !taken;
+                }
+                Outcome::from_bool(taken)
+            }
+            Behavior::LocalPattern {
+                pattern,
+                len,
+                noise,
+            } => {
+                let len = u64::from(len.clamp(1, 32));
+                let bit = (pattern >> (self.exec_count % len)) & 1 == 1;
+                let mut taken = bit;
+                if noise > 0.0 && unit_f64(mix2(noise_draw, 0x6c6f_6361)) < noise {
+                    taken = !taken;
+                }
+                Outcome::from_bool(taken)
+            }
+        };
+        self.exec_count += 1;
+
+        // Liveness escape: break pathological all-taken runs.
+        let out = if raw.is_taken() && self.consecutive_taken >= MAX_CONSECUTIVE_TAKEN {
+            Outcome::NotTaken
+        } else {
+            raw
+        };
+        if out.is_taken() {
+            self.consecutive_taken += 1;
+        } else {
+            self.consecutive_taken = 0;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::mix64;
+
+    fn run(behavior: Behavior, n: u64, ghist_fn: impl Fn(u64, Outcome) -> u64) -> Vec<Outcome> {
+        let mut st = SiteState::default();
+        let mut ghist = 0u64;
+        let mut outs = Vec::new();
+        for i in 0..n {
+            let o = st.next_outcome(&behavior, ghist, mix64(i));
+            ghist = ghist_fn(ghist, o);
+            outs.push(o);
+        }
+        outs
+    }
+
+    fn shift(g: u64, o: Outcome) -> u64 {
+        (g << 1) | o.as_bit()
+    }
+
+    #[test]
+    fn bernoulli_respects_probability() {
+        let outs = run(Behavior::Bernoulli { p_taken: 0.9 }, 20_000, shift);
+        let taken = outs.iter().filter(|o| o.is_taken()).count() as f64 / outs.len() as f64;
+        assert!((taken - 0.9).abs() < 0.02, "taken rate {taken}");
+    }
+
+    #[test]
+    fn loop_behaviour_is_periodic() {
+        let outs = run(Behavior::Loop { period: 4 }, 12, shift);
+        use Outcome::{NotTaken as N, Taken as T};
+        assert_eq!(outs, vec![T, T, T, N, T, T, T, N, T, T, T, N]);
+    }
+
+    #[test]
+    fn loop_period_below_two_clamps() {
+        let outs = run(Behavior::Loop { period: 1 }, 4, shift);
+        // period clamps to 2: taken, not-taken alternation.
+        assert!(outs.iter().any(|o| o.is_taken()));
+        assert!(outs.iter().any(|o| !o.is_taken()));
+    }
+
+    #[test]
+    fn global_correlated_is_parity_of_history() {
+        let b = Behavior::GlobalCorrelated {
+            mask: 0b11,
+            invert: false,
+            noise: 0.0,
+        };
+        let mut st = SiteState::default();
+        // ghist bits: 0b10 -> one set bit -> odd parity -> taken.
+        assert_eq!(st.next_outcome(&b, 0b10, 1), Outcome::Taken);
+        // 0b11 -> even parity -> not taken.
+        assert_eq!(st.next_outcome(&b, 0b11, 2), Outcome::NotTaken);
+        // Invert flips it.
+        let bi = Behavior::GlobalCorrelated {
+            mask: 0b11,
+            invert: true,
+            noise: 0.0,
+        };
+        assert_eq!(st.next_outcome(&bi, 0b11, 3), Outcome::Taken);
+    }
+
+    #[test]
+    fn local_pattern_repeats() {
+        let b = Behavior::LocalPattern {
+            pattern: 0b0110,
+            len: 4,
+            noise: 0.0,
+        };
+        let outs = run(b, 8, shift);
+        use Outcome::{NotTaken as N, Taken as T};
+        assert_eq!(outs, vec![N, T, T, N, N, T, T, N]);
+    }
+
+    #[test]
+    fn escape_breaks_all_taken_runs() {
+        let b = Behavior::Bernoulli { p_taken: 1.0 };
+        let outs = run(b, (MAX_CONSECUTIVE_TAKEN as u64) + 10, shift);
+        assert!(
+            outs.iter().any(|o| !o.is_taken()),
+            "escape must force a not-taken within {} executions",
+            MAX_CONSECUTIVE_TAKEN + 10
+        );
+    }
+
+    #[test]
+    fn needs_escape_classification() {
+        assert!(Behavior::Bernoulli { p_taken: 1.0 }.needs_escape());
+        assert!(!Behavior::Bernoulli { p_taken: 0.5 }.needs_escape());
+        assert!(!Behavior::Loop { period: 8 }.needs_escape());
+        assert!(Behavior::GlobalCorrelated {
+            mask: 3,
+            invert: false,
+            noise: 0.0
+        }
+        .needs_escape());
+        assert!(Behavior::LocalPattern {
+            pattern: 0b1111,
+            len: 4,
+            noise: 0.0
+        }
+        .needs_escape());
+        assert!(!Behavior::LocalPattern {
+            pattern: 0b0111,
+            len: 4,
+            noise: 0.0
+        }
+        .needs_escape());
+    }
+
+    #[test]
+    fn deterministic_given_same_draws() {
+        let b = Behavior::Bernoulli { p_taken: 0.7 };
+        let a = run(b, 1000, shift);
+        let c = run(b, 1000, shift);
+        assert_eq!(a, c);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::util::mix64;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn no_behaviour_wedges_taken_forever(
+            kind in 0u8..4,
+            p in 0.0f64..1.0,
+            mask in 0u16..u16::MAX,
+            period in 2u16..64,
+            seed in 0u64..1000,
+        ) {
+            let b = match kind {
+                0 => Behavior::Bernoulli { p_taken: p },
+                1 => Behavior::Loop { period },
+                2 => Behavior::GlobalCorrelated { mask, invert: false, noise: 0.0 },
+                _ => Behavior::LocalPattern { pattern: u32::MAX, len: 16, noise: 0.0 },
+            };
+            let mut st = SiteState::default();
+            let mut saw_not_taken = false;
+            let mut ghist = u64::MAX; // worst case: constant history
+            for i in 0..(u64::from(MAX_CONSECUTIVE_TAKEN) + 2) {
+                let o = st.next_outcome(&b, ghist, mix64(seed.wrapping_mul(7919).wrapping_add(i)));
+                ghist = (ghist << 1) | o.as_bit();
+                if !o.is_taken() { saw_not_taken = true; break; }
+            }
+            prop_assert!(saw_not_taken, "behaviour {b:?} wedged taken");
+        }
+
+        #[test]
+        fn exec_count_advances(p in 0.0f64..1.0, n in 1u64..200) {
+            let b = Behavior::Bernoulli { p_taken: p };
+            let mut st = SiteState::default();
+            for i in 0..n {
+                st.next_outcome(&b, 0, mix64(i));
+            }
+            prop_assert_eq!(st.exec_count, n);
+        }
+    }
+}

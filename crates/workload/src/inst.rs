@@ -1,0 +1,146 @@
+//! Decoded instructions of the synthetic ISA.
+
+use bw_types::{Addr, CtiKind, OpClass};
+
+/// Static control-transfer information attached to a decoded CTI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtiInfo {
+    /// What kind of control transfer this is.
+    pub kind: CtiKind,
+    /// Static (direct) target, if the instruction encodes one.
+    ///
+    /// `None` for returns and indirect jumps, whose targets are known
+    /// only at execution.
+    pub target: Option<Addr>,
+    /// Static conditional-branch site id, used to look up the site's
+    /// behaviour automaton. `None` for wrong-path/wild code that does
+    /// not correspond to a generated site, and for unconditional CTIs.
+    pub site: Option<u32>,
+}
+
+/// A decoded instruction.
+///
+/// Decoding is a pure function of the PC (see
+/// [`StaticProgram::decode`](crate::StaticProgram::decode)), so this
+/// struct carries everything static: operation class, CTI info and
+/// synthetic register-dependency distances. Data addresses for memory
+/// operations are supplied separately (the architectural
+/// [`Thread`](crate::Thread) computes real ones; wrong-path code hashes
+/// them).
+///
+/// # Examples
+///
+/// ```
+/// use bw_types::{Addr, OpClass};
+/// use bw_workload::DecodedInst;
+///
+/// let i = DecodedInst::simple(Addr(0x1000), OpClass::IntAlu, 1, 3);
+/// assert!(i.cti.is_none());
+/// assert_eq!(i.dep_distances(), [Some(1), Some(3)]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodedInst {
+    /// The instruction's address.
+    pub pc: Addr,
+    /// Functional-unit class.
+    pub op: OpClass,
+    /// Control-transfer info, for CTIs only.
+    pub cti: Option<CtiInfo>,
+    /// Distance (in dynamic instructions) to the producer of the first
+    /// source operand; 0 means no dependency.
+    pub dep1: u8,
+    /// Distance to the producer of the second source operand; 0 = none.
+    pub dep2: u8,
+}
+
+impl DecodedInst {
+    /// A non-CTI instruction with the given dependency distances.
+    #[must_use]
+    pub fn simple(pc: Addr, op: OpClass, dep1: u8, dep2: u8) -> Self {
+        debug_assert!(op != OpClass::Cti);
+        DecodedInst {
+            pc,
+            op,
+            cti: None,
+            dep1,
+            dep2,
+        }
+    }
+
+    /// A control-transfer instruction.
+    #[must_use]
+    pub fn cti(pc: Addr, info: CtiInfo, dep1: u8) -> Self {
+        DecodedInst {
+            pc,
+            op: OpClass::Cti,
+            cti: Some(info),
+            dep1,
+            dep2: 0,
+        }
+    }
+
+    /// The dependency distances as options (`None` for "no
+    /// dependency").
+    #[must_use]
+    pub fn dep_distances(&self) -> [Option<u8>; 2] {
+        let f = |d: u8| if d == 0 { None } else { Some(d) };
+        [f(self.dep1), f(self.dep2)]
+    }
+
+    /// `true` if the instruction is a conditional branch.
+    #[must_use]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(
+            self.cti,
+            Some(CtiInfo {
+                kind: CtiKind::CondBranch,
+                ..
+            })
+        )
+    }
+
+    /// `true` if the instruction is any control transfer.
+    #[must_use]
+    pub fn is_cti(&self) -> bool {
+        self.cti.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_has_no_cti() {
+        let i = DecodedInst::simple(Addr(0), OpClass::Load, 2, 0);
+        assert!(!i.is_cti());
+        assert!(!i.is_cond_branch());
+        assert_eq!(i.dep_distances(), [Some(2), None]);
+    }
+
+    #[test]
+    fn cond_branch_is_cti_and_conditional() {
+        let info = CtiInfo {
+            kind: CtiKind::CondBranch,
+            target: Some(Addr(0x40)),
+            site: Some(7),
+        };
+        let i = DecodedInst::cti(Addr(0), info, 1);
+        assert!(i.is_cti());
+        assert!(i.is_cond_branch());
+        assert_eq!(i.op, OpClass::Cti);
+        assert_eq!(i.cti.unwrap().site, Some(7));
+    }
+
+    #[test]
+    fn jump_is_cti_but_not_conditional() {
+        let info = CtiInfo {
+            kind: CtiKind::Jump,
+            target: Some(Addr(0x80)),
+            site: None,
+        };
+        let i = DecodedInst::cti(Addr(4), info, 0);
+        assert!(i.is_cti());
+        assert!(!i.is_cond_branch());
+    }
+}

@@ -1,0 +1,549 @@
+//! Synthetic static programs: block layout and pure PC decoding.
+
+use crate::behavior::Behavior;
+use crate::inst::{CtiInfo, DecodedInst};
+use crate::util::{mix2, unit_f64};
+use bw_types::{Addr, CtiKind, OpClass, INST_BYTES};
+
+/// Base address of the main code region.
+pub const CODE_BASE: Addr = Addr(0x0010_0000);
+/// Base address of the function (callee) code region.
+pub const FUNC_BASE: Addr = Addr(0x0100_0000);
+
+/// How a basic block ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Terminator {
+    /// Conditional branch: `site` indexes the behaviour automaton;
+    /// taken control goes to `target`, fall-through to the next block.
+    CondBranch {
+        /// Static site id.
+        site: u32,
+        /// Taken target.
+        target: Addr,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Jump target.
+        target: Addr,
+    },
+    /// Direct call (pushes the return address).
+    Call {
+        /// Callee entry point.
+        target: Addr,
+    },
+    /// Return (pops the return-address stack).
+    Return,
+    /// Indirect jump among a small set of targets, selected
+    /// pseudo-randomly per execution (switch-statement style).
+    IndirectJump {
+        /// The possible targets.
+        targets: [Addr; 4],
+    },
+}
+
+/// A basic block: `body_len` straight-line instructions followed by one
+/// terminator CTI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub start: Addr,
+    /// Number of non-CTI instructions before the terminator.
+    pub body_len: u32,
+    /// The block's final control-transfer instruction.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Total instructions in the block, including the terminator.
+    #[must_use]
+    pub fn len_insts(&self) -> u64 {
+        u64::from(self.body_len) + 1
+    }
+
+    /// Address of the terminator CTI.
+    #[must_use]
+    pub fn term_pc(&self) -> Addr {
+        self.start.offset_insts(u64::from(self.body_len))
+    }
+
+    /// Address one past the block (fall-through target).
+    #[must_use]
+    pub fn end(&self) -> Addr {
+        self.start.offset_insts(self.len_insts())
+    }
+}
+
+/// Instruction-class mix for block bodies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct InstMix {
+    pub load: f64,
+    pub store: f64,
+    pub fp_alu: f64,
+    pub fp_mul: f64,
+    pub int_mul: f64,
+}
+
+impl InstMix {
+    fn pick(&self, h: u64) -> OpClass {
+        let u = unit_f64(h);
+        let mut acc = self.load;
+        if u < acc {
+            return OpClass::Load;
+        }
+        acc += self.store;
+        if u < acc {
+            return OpClass::Store;
+        }
+        acc += self.fp_alu;
+        if u < acc {
+            return OpClass::FpAlu;
+        }
+        acc += self.fp_mul;
+        if u < acc {
+            return OpClass::FpMul;
+        }
+        acc += self.int_mul;
+        if u < acc {
+            return OpClass::IntMul;
+        }
+        OpClass::IntAlu
+    }
+}
+
+/// A generated synthetic program.
+///
+/// The program is immutable once built. [`StaticProgram::decode`] is a
+/// pure function of the PC, defined over the *entire* address space:
+/// addresses inside the laid-out regions decode to their real block
+/// instructions; "wild" addresses (reachable only on the wrong path)
+/// decode to hash-synthesized code that eventually jumps back into the
+/// main region. This gives mispredicted fetch streams realistic I-cache,
+/// BTB and predictor-pollution behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use bw_workload::benchmark;
+///
+/// let program = benchmark("gzip").unwrap().build_program(1);
+/// let first = program.decode(bw_workload::CODE_BASE);
+/// assert_eq!(first.pc, bw_workload::CODE_BASE);
+/// // Decoding is pure: same PC, same instruction.
+/// assert_eq!(program.decode(bw_workload::CODE_BASE), first);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StaticProgram {
+    pub(crate) salt: u64,
+    main_blocks: Vec<Block>,
+    main_starts: Vec<u64>,
+    main_end: Addr,
+    func_blocks: Vec<Block>,
+    func_starts: Vec<u64>,
+    func_end: Addr,
+    behaviors: Vec<Behavior>,
+    mix: InstMix,
+}
+
+impl StaticProgram {
+    /// Builds a program from explicit parts (used by the benchmark
+    /// generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block lists are empty or not laid out contiguously
+    /// from their region bases.
+    pub(crate) fn from_parts(
+        salt: u64,
+        main_blocks: Vec<Block>,
+        func_blocks: Vec<Block>,
+        behaviors: Vec<Behavior>,
+        mix: InstMix,
+    ) -> Self {
+        assert!(
+            !main_blocks.is_empty(),
+            "program needs at least one main block"
+        );
+        check_contiguous(&main_blocks, CODE_BASE);
+        if !func_blocks.is_empty() {
+            check_contiguous(&func_blocks, FUNC_BASE);
+        }
+        let main_starts = main_blocks.iter().map(|b| b.start.0).collect();
+        let func_starts: Vec<u64> = func_blocks.iter().map(|b| b.start.0).collect();
+        let main_end = main_blocks.last().expect("nonempty").end();
+        let func_end = func_blocks.last().map_or(FUNC_BASE, Block::end);
+        StaticProgram {
+            salt,
+            main_blocks,
+            main_starts,
+            main_end,
+            func_blocks,
+            func_starts,
+            func_end,
+            behaviors,
+            mix,
+        }
+    }
+
+    /// The program entry point.
+    #[must_use]
+    pub fn entry(&self) -> Addr {
+        CODE_BASE
+    }
+
+    /// Number of conditional-branch sites with behaviour automata.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.behaviors.len()
+    }
+
+    /// The behaviour of static site `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn behavior(&self, site: u32) -> &Behavior {
+        &self.behaviors[site as usize]
+    }
+
+    /// The main-region blocks.
+    #[must_use]
+    pub fn main_blocks(&self) -> &[Block] {
+        &self.main_blocks
+    }
+
+    /// The function-region blocks.
+    #[must_use]
+    pub fn func_blocks(&self) -> &[Block] {
+        &self.func_blocks
+    }
+
+    /// Total laid-out code bytes (main + function regions).
+    #[must_use]
+    pub fn code_bytes(&self) -> u64 {
+        (self.main_end.0 - CODE_BASE.0) + (self.func_end.0 - FUNC_BASE.0)
+    }
+
+    /// Decodes the instruction at `pc`. Pure: depends only on `pc` and
+    /// the program.
+    #[must_use]
+    pub fn decode(&self, pc: Addr) -> DecodedInst {
+        if pc >= CODE_BASE && pc < self.main_end {
+            return self.decode_in(&self.main_blocks, &self.main_starts, pc);
+        }
+        if pc >= FUNC_BASE && pc < self.func_end {
+            return self.decode_in(&self.func_blocks, &self.func_starts, pc);
+        }
+        self.decode_wild(pc)
+    }
+
+    /// `true` if `pc` lies in a laid-out (architecturally reachable)
+    /// region.
+    #[must_use]
+    pub fn in_code_region(&self, pc: Addr) -> bool {
+        (pc >= CODE_BASE && pc < self.main_end) || (pc >= FUNC_BASE && pc < self.func_end)
+    }
+
+    fn decode_in(&self, blocks: &[Block], starts: &[u64], pc: Addr) -> DecodedInst {
+        let idx = starts.partition_point(|&s| s <= pc.0) - 1;
+        let block = &blocks[idx];
+        debug_assert!(pc >= block.start && pc < block.end());
+        let slot = (pc.0 - block.start.0) / INST_BYTES;
+        if slot < u64::from(block.body_len) {
+            self.body_inst(pc)
+        } else {
+            let info = match block.term {
+                Terminator::CondBranch { site, target } => CtiInfo {
+                    kind: CtiKind::CondBranch,
+                    target: Some(target),
+                    site: Some(site),
+                },
+                Terminator::Jump { target } => CtiInfo {
+                    kind: CtiKind::Jump,
+                    target: Some(target),
+                    site: None,
+                },
+                Terminator::Call { target } => CtiInfo {
+                    kind: CtiKind::Call,
+                    target: Some(target),
+                    site: None,
+                },
+                Terminator::Return => CtiInfo {
+                    kind: CtiKind::Return,
+                    target: None,
+                    site: None,
+                },
+                Terminator::IndirectJump { .. } => CtiInfo {
+                    kind: CtiKind::IndirectJump,
+                    target: None,
+                    site: None,
+                },
+            };
+            DecodedInst::cti(pc, info, self.dep_for(pc, 0))
+        }
+    }
+
+    /// Targets of an indirect jump terminator at `pc`, if any.
+    #[must_use]
+    pub fn indirect_targets(&self, pc: Addr) -> Option<[Addr; 4]> {
+        let lookup = |blocks: &[Block], starts: &[u64]| -> Option<[Addr; 4]> {
+            let idx = starts.partition_point(|&s| s <= pc.0).checked_sub(1)?;
+            let block = &blocks[idx];
+            if block.term_pc() == pc {
+                if let Terminator::IndirectJump { targets } = block.term {
+                    return Some(targets);
+                }
+            }
+            None
+        };
+        if pc >= CODE_BASE && pc < self.main_end {
+            lookup(&self.main_blocks, &self.main_starts)
+        } else if pc >= FUNC_BASE && pc < self.func_end {
+            lookup(&self.func_blocks, &self.func_starts)
+        } else {
+            None
+        }
+    }
+
+    fn body_inst(&self, pc: Addr) -> DecodedInst {
+        let h = mix2(pc.0, self.salt);
+        let op = self.mix.pick(h);
+        DecodedInst::simple(pc, op, self.dep_for(pc, 1), self.dep_for(pc, 2))
+    }
+
+    fn dep_for(&self, pc: Addr, which: u64) -> u8 {
+        let h = mix2(pc.0 ^ (which << 56), self.salt.wrapping_add(which));
+        match which {
+            // CTI condition input: a recently computed flag/compare, so
+            // branches resolve quickly once fetched.
+            0 => 1 + (h % 5) as u8,
+            // First source: usually present, with a realistic spread of
+            // producer distances (many values come from far away or are
+            // loop-invariant, which the absent case models).
+            1 => {
+                if h.is_multiple_of(8) {
+                    0
+                } else {
+                    1 + ((h >> 3) % 8) as u8
+                }
+            }
+            // Second source: present about a third of the time, long
+            // reach.
+            _ => {
+                if h % 8 < 5 {
+                    0
+                } else {
+                    1 + ((h >> 3) % 24) as u8
+                }
+            }
+        }
+    }
+
+    fn decode_wild(&self, pc: Addr) -> DecodedInst {
+        let h = mix2(pc.0, self.salt ^ 0x7769_6c64);
+        let main_insts = (self.main_end.0 - CODE_BASE.0) / INST_BYTES;
+        match h % 8 {
+            0 => {
+                // Jump back into the main region: wrong-path wandering
+                // re-converges on real code.
+                let target = CODE_BASE.offset_insts((h >> 8) % main_insts);
+                DecodedInst::cti(
+                    pc,
+                    CtiInfo {
+                        kind: CtiKind::Jump,
+                        target: Some(target),
+                        site: None,
+                    },
+                    self.dep_for(pc, 0),
+                )
+            }
+            1 => {
+                let target = CODE_BASE.offset_insts((h >> 8) % main_insts);
+                DecodedInst::cti(
+                    pc,
+                    CtiInfo {
+                        kind: CtiKind::CondBranch,
+                        target: Some(target),
+                        site: None,
+                    },
+                    self.dep_for(pc, 0),
+                )
+            }
+            _ => self.body_inst(pc),
+        }
+    }
+}
+
+fn check_contiguous(blocks: &[Block], base: Addr) {
+    let mut expect = base;
+    for (i, b) in blocks.iter().enumerate() {
+        assert!(
+            b.start == expect,
+            "block {i} starts at {} but previous block ends at {expect}",
+            b.start
+        );
+        expect = b.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_program() -> StaticProgram {
+        // Three main blocks:
+        //   b0: 2 body insts + cond site 0, taken -> b0 (self loop)
+        //   b1: 1 body inst + call -> f0
+        //   b2: 0 body insts + jump -> b0
+        // One function block: 1 body inst + return.
+        let b0 = Block {
+            start: CODE_BASE,
+            body_len: 2,
+            term: Terminator::CondBranch {
+                site: 0,
+                target: CODE_BASE,
+            },
+        };
+        let b1 = Block {
+            start: b0.end(),
+            body_len: 1,
+            term: Terminator::Call { target: FUNC_BASE },
+        };
+        let b2 = Block {
+            start: b1.end(),
+            body_len: 0,
+            term: Terminator::Jump { target: CODE_BASE },
+        };
+        let f0 = Block {
+            start: FUNC_BASE,
+            body_len: 1,
+            term: Terminator::Return,
+        };
+        StaticProgram::from_parts(
+            7,
+            vec![b0, b1, b2],
+            vec![f0],
+            vec![Behavior::Loop { period: 3 }],
+            InstMix {
+                load: 0.2,
+                store: 0.1,
+                fp_alu: 0.0,
+                fp_mul: 0.0,
+                int_mul: 0.05,
+            },
+        )
+    }
+
+    #[test]
+    fn block_geometry() {
+        let b = Block {
+            start: Addr(0x100),
+            body_len: 3,
+            term: Terminator::Jump { target: Addr(0) },
+        };
+        assert_eq!(b.len_insts(), 4);
+        assert_eq!(b.term_pc(), Addr(0x10c));
+        assert_eq!(b.end(), Addr(0x110));
+    }
+
+    #[test]
+    fn decode_body_and_terminator() {
+        let p = tiny_program();
+        let body = p.decode(CODE_BASE);
+        assert!(!body.is_cti());
+        let term = p.decode(CODE_BASE.offset_insts(2));
+        assert!(term.is_cond_branch());
+        assert_eq!(term.cti.unwrap().site, Some(0));
+        assert_eq!(term.cti.unwrap().target, Some(CODE_BASE));
+    }
+
+    #[test]
+    fn decode_is_pure() {
+        let p = tiny_program();
+        for i in 0..8 {
+            let pc = CODE_BASE.offset_insts(i);
+            assert_eq!(p.decode(pc), p.decode(pc));
+        }
+    }
+
+    #[test]
+    fn call_and_return_decode() {
+        let p = tiny_program();
+        let call_pc = p.main_blocks()[1].term_pc();
+        let call = p.decode(call_pc);
+        assert_eq!(call.cti.unwrap().kind, CtiKind::Call);
+        assert_eq!(call.cti.unwrap().target, Some(FUNC_BASE));
+        let ret_pc = p.func_blocks()[0].term_pc();
+        let ret = p.decode(ret_pc);
+        assert_eq!(ret.cti.unwrap().kind, CtiKind::Return);
+        assert_eq!(ret.cti.unwrap().target, None);
+    }
+
+    #[test]
+    fn wild_decode_is_defined_everywhere() {
+        let p = tiny_program();
+        for raw in [0u64, 0x1000, 0xdead_0000, 0xffff_fff0] {
+            let pc = Addr(raw & !3);
+            let inst = p.decode(pc);
+            assert_eq!(inst.pc, pc);
+            if let Some(cti) = inst.cti {
+                if let Some(t) = cti.target {
+                    assert!(t >= CODE_BASE, "wild CTIs target the main region");
+                }
+                assert_eq!(cti.site, None, "wild code has no behaviour site");
+            }
+        }
+    }
+
+    #[test]
+    fn in_code_region_boundaries() {
+        let p = tiny_program();
+        assert!(p.in_code_region(CODE_BASE));
+        assert!(!p.in_code_region(Addr(CODE_BASE.0 - 4)));
+        assert!(p.in_code_region(FUNC_BASE));
+        let main_len = p.main_blocks().iter().map(Block::len_insts).sum::<u64>();
+        assert!(!p.in_code_region(CODE_BASE.offset_insts(main_len)));
+    }
+
+    #[test]
+    #[should_panic(expected = "starts at")]
+    fn non_contiguous_blocks_rejected() {
+        let b0 = Block {
+            start: CODE_BASE,
+            body_len: 1,
+            term: Terminator::Return,
+        };
+        let b1 = Block {
+            start: CODE_BASE.offset_insts(10),
+            body_len: 1,
+            term: Terminator::Return,
+        };
+        let _ = StaticProgram::from_parts(
+            0,
+            vec![b0, b1],
+            vec![],
+            vec![],
+            InstMix {
+                load: 0.0,
+                store: 0.0,
+                fp_alu: 0.0,
+                fp_mul: 0.0,
+                int_mul: 0.0,
+            },
+        );
+    }
+
+    #[test]
+    fn code_bytes_counts_both_regions() {
+        let p = tiny_program();
+        // main: 4 + 3 + 1 insts? b0=3, b1=2, b2=1 -> 6 insts; func: 2.
+        assert_eq!(p.code_bytes(), (6 + 2) * INST_BYTES);
+    }
+
+    #[test]
+    fn indirect_targets_absent_for_direct_ctis() {
+        let p = tiny_program();
+        assert_eq!(p.indirect_targets(p.main_blocks()[1].term_pc()), None);
+        assert_eq!(p.indirect_targets(CODE_BASE), None);
+    }
+}

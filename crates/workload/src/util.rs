@@ -1,0 +1,63 @@
+//! Small deterministic hashing helpers.
+//!
+//! Decoding must be a pure function of the PC so correct-path and
+//! wrong-path fetches of the same address see the same instruction.
+//! These helpers provide high-quality, dependency-free mixing.
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mixes two values into one hash.
+#[must_use]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix64(a ^ mix64(b))
+}
+
+/// Maps a hash to a float in `[0, 1)`.
+#[must_use]
+pub fn unit_f64(h: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(0), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // Consecutive inputs differ in many bits.
+        let d = (mix64(100) ^ mix64(101)).count_ones();
+        assert!(d > 16, "poor avalanche: {d} bits");
+    }
+
+    #[test]
+    fn mix2_depends_on_both_inputs() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+        assert_ne!(mix2(1, 2), mix2(1, 3));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for x in [0u64, 1, u64::MAX, 0xdead_beef, mix64(7)] {
+            let f = unit_f64(x);
+            assert!((0.0..1.0).contains(&f), "{f} out of range");
+        }
+    }
+
+    #[test]
+    fn unit_f64_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| unit_f64(mix64(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

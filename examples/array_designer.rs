@@ -1,0 +1,106 @@
+//! Array-level design exploration with the standalone power/timing
+//! models: squarification, banking and the old-vs-new Wattch model for
+//! an arbitrary table — no simulation required.
+//!
+//! ```sh
+//! cargo run --release --example array_designer [entries] [bits_per_entry]
+//! ```
+
+use branchwatt::arrays::{
+    bank_count_for_bits, ArrayModel, ArraySpec, BankedArrayModel, ModelKind, SquarifyGoal,
+    TechParams,
+};
+use branchwatt::report::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let entries: u64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16 * 1024);
+    let bits: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    if !entries.is_power_of_two() {
+        eprintln!("entries must be a power of two");
+        std::process::exit(1);
+    }
+
+    let tech = TechParams::default();
+    let spec = ArraySpec::untagged(entries, bits);
+    println!(
+        "Designing a {entries}-entry x {bits}-bit array ({} Kbits) at {:.1} V / {:.0} MHz\n",
+        spec.total_bits() / 1024,
+        tech.vdd,
+        tech.freq_hz / 1e6
+    );
+
+    // 1. Squarification sweep: every physical organization.
+    let mut t = Table::new(vec![
+        "rows".into(),
+        "cols".into(),
+        "mux".into(),
+        "energy (pJ)".into(),
+        "time (ns)".into(),
+        "ED (pJ*ns)".into(),
+    ]);
+    let mut best: Option<(f64, String)> = None;
+    for org in spec.candidate_orgs() {
+        let m = ArrayModel::for_org(spec, org, &tech, ModelKind::WithColumnDecoders);
+        let e = m.energy_per_access().total() * 1e12;
+        let ti = m.access_time_s() * 1e9;
+        let ed = e * ti;
+        if best.as_ref().is_none_or(|(b, _)| ed < *b) {
+            best = Some((ed, format!("{}x{}", org.rows, org.cols)));
+        }
+        t.row(vec![
+            org.rows.to_string(),
+            org.cols.to_string(),
+            org.mux_degree.to_string(),
+            format!("{e:.1}"),
+            format!("{ti:.3}"),
+            format!("{ed:.1}"),
+        ]);
+    }
+    println!("Squarification candidates:\n{}", t.render());
+    if let Some((_, org)) = best {
+        println!("Minimum energy-delay organization: {org}\n");
+    }
+
+    // 2. Model comparison and banking summary.
+    let old = ArrayModel::with_goal(
+        spec,
+        &tech,
+        ModelKind::Wattch102,
+        SquarifyGoal::AsSquareAsPossible,
+    );
+    let new = ArrayModel::new(spec, &tech, ModelKind::WithColumnDecoders);
+    let banked = BankedArrayModel::new(spec, &tech, ModelKind::WithColumnDecoders);
+    println!(
+        "Wattch 1.02 model : {:>7.1} pJ/read, {:.3} ns",
+        old.energy_per_access().total() * 1e12,
+        old.access_time_s() * 1e9
+    );
+    println!(
+        "+ column decoders : {:>7.1} pJ/read, {:.3} ns",
+        new.energy_per_access().total() * 1e12,
+        new.access_time_s() * 1e9
+    );
+    println!(
+        "banked ({} banks)  : {:>7.1} pJ/read, {:.3} ns  ({}% energy saved)",
+        bank_count_for_bits(spec.total_bits()),
+        banked.energy_per_access().total() * 1e12,
+        banked.access_time_s() * 1e9,
+        (100.0 * (1.0 - banked.energy_per_access().total() / new.energy_per_access().total()))
+            .round()
+    );
+    let b = new.energy_per_access();
+    println!(
+        "\nEnergy breakdown (new model): row-dec {:.1} / col-dec {:.1} / wordline {:.1} / \
+         bitline {:.1} / sense {:.1} / output {:.1} pJ",
+        b.row_decoder * 1e12,
+        b.column_decoder * 1e12,
+        b.wordline * 1e12,
+        b.bitline * 1e12,
+        b.senseamp * 1e12,
+        b.output * 1e12
+    );
+}

@@ -1,0 +1,95 @@
+//! The prediction probe detector in action: how many fetch cycles need
+//! no predictor/BTB probe at all, and what that saves.
+//!
+//! ```sh
+//! cargo run --release --example ppd_savings [benchmark]
+//! ```
+
+use branchwatt::power::{BpredOptions, PpdScenario};
+use branchwatt::workload::benchmark;
+use branchwatt::zoo::NamedPredictor;
+use branchwatt::{simulate, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench_name = args.get(1).map_or("gap", String::as_str);
+    let model = benchmark(bench_name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{bench_name}'");
+        std::process::exit(1);
+    });
+
+    // A machine with a PPD: the run records, per fetch cycle, whether
+    // the current I-cache line's pre-decode bits allowed the direction
+    // predictor and/or BTB lookup to be suppressed.
+    let mut cfg = SimConfig {
+        warmup_insts: 2_000_000,
+        measure_insts: 500_000,
+        ..SimConfig::paper(5)
+    };
+    cfg.uarch = cfg.uarch.with_ppd(PpdScenario::One);
+
+    println!(
+        "PPD study: {} with {} (the paper's Section 4.2 setup)\n",
+        model.name,
+        NamedPredictor::GAs32k8.label()
+    );
+    let run = simulate(model, NamedPredictor::GAs32k8.config(), &cfg);
+
+    println!("Gating effectiveness (Figure 14 is why this works):");
+    println!(
+        "  avg distance between cond branches {:>6.1} insts",
+        run.stats.avg_cond_distance()
+    );
+    println!(
+        "  avg distance between CTIs          {:>6.1} insts",
+        run.stats.avg_cti_distance()
+    );
+    println!(
+        "  fetch cycles without a dir probe   {:>6.1}%",
+        run.stats.ppd_dir_gate_rate() * 100.0
+    );
+    println!(
+        "  fetch cycles without a BTB probe   {:>6.1}%",
+        run.stats.ppd_btb_gate_rate() * 100.0
+    );
+    println!();
+
+    let base = BpredOptions {
+        ppd: None,
+        ..run.run_options()
+    };
+    let (e_base, t_base) = run.repriced(base);
+    println!("Savings vs the same machine without a PPD:");
+    for (label, banked, scenario) in [
+        ("PPD, Scenario 1         ", false, PpdScenario::One),
+        ("banked + PPD, Scenario 1", true, PpdScenario::One),
+        ("banked + PPD, Scenario 2", true, PpdScenario::Two),
+    ] {
+        let this_base = run.repriced(BpredOptions {
+            banked,
+            ppd: None,
+            ..run.run_options()
+        });
+        let with = run.repriced(BpredOptions {
+            banked,
+            ppd: Some(scenario),
+            ..run.run_options()
+        });
+        println!(
+            "  {label}  predictor energy -{:>5.1}%   chip energy -{:>4.2}%",
+            100.0 * (1.0 - with.0 / this_base.0),
+            100.0 * (1.0 - with.1 / this_base.1),
+        );
+    }
+    println!();
+    println!(
+        "Baseline predictor energy {:.3} mJ of {:.3} mJ chip energy ({:.1}%).",
+        e_base * 1e3,
+        t_base * 1e3,
+        100.0 * e_base / t_base
+    );
+    println!(
+        "IPC {:.3} — unchanged by the PPD: it only removes unnecessary work.",
+        run.ipc()
+    );
+}

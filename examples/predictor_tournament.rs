@@ -1,0 +1,70 @@
+//! The paper's central trade-off, live: run all fourteen predictor
+//! organizations on one benchmark and watch chip-wide *energy* follow
+//! accuracy while chip-wide *power* follows predictor size.
+//!
+//! ```sh
+//! cargo run --release --example predictor_tournament [benchmark]
+//! ```
+
+use branchwatt::report::Table;
+use branchwatt::workload::benchmark;
+use branchwatt::zoo::NamedPredictor;
+use branchwatt::{simulate, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench_name = args.get(1).map_or("parser", String::as_str);
+    let model = benchmark(bench_name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{bench_name}'");
+        std::process::exit(1);
+    });
+
+    let cfg = SimConfig {
+        warmup_insts: 2_000_000,
+        measure_insts: 500_000,
+        ..SimConfig::paper(7)
+    };
+    println!(
+        "Tournament on {} (2M warmup + 500K measured per entry)\n",
+        model.name
+    );
+
+    let mut t = Table::new(vec![
+        "predictor".into(),
+        "Kbits".into(),
+        "accuracy".into(),
+        "IPC".into(),
+        "bpred W".into(),
+        "chip W".into(),
+        "chip mJ".into(),
+        "ED uJ*s".into(),
+    ]);
+    let mut best_energy: Option<(String, f64)> = None;
+    for p in NamedPredictor::FIGURE_ORDER {
+        eprint!("  {} ...\r", p.label());
+        let run = simulate(model, p.config(), &cfg);
+        let energy = run.total_energy_j();
+        if best_energy.as_ref().is_none_or(|(_, e)| energy < *e) {
+            best_energy = Some((p.label().to_string(), energy));
+        }
+        t.row(vec![
+            p.label().into(),
+            (p.total_bits() / 1024).to_string(),
+            format!("{:.2}%", run.accuracy() * 100.0),
+            format!("{:.3}", run.ipc()),
+            format!("{:.2}", run.bpred_power_w()),
+            format!("{:.1}", run.total_power_w()),
+            format!("{:.3}", energy * 1e3),
+            format!("{:.4}", run.energy_delay() * 1e9),
+        ]);
+    }
+    println!("{}", t.render());
+    if let Some((label, energy)) = best_energy {
+        println!(
+            "Lowest chip energy: {label} ({:.3} mJ) — \"to reduce overall energy consumption it \
+             is worthwhile to spend more power in the branch predictor if it permits a more \
+             accurate organization that improves running time.\"",
+            energy * 1e3
+        );
+    }
+}

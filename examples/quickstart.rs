@@ -1,0 +1,74 @@
+//! Quickstart: simulate one SPEC-like benchmark on the paper's
+//! Alpha-21264-class machine and print the power/performance metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark] [predictor]
+//! # e.g.
+//! cargo run --release --example quickstart gzip Gsh_1_16k_12
+//! ```
+
+use branchwatt::workload::benchmark;
+use branchwatt::zoo::NamedPredictor;
+use branchwatt::{simulate, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench_name = args.get(1).map_or("gzip", String::as_str);
+    let pred_label = args.get(2).map_or("Gsh_1_16k_12", String::as_str);
+
+    let model = benchmark(bench_name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{bench_name}'; try one of:");
+        for m in branchwatt::workload::all_benchmarks() {
+            eprintln!("  {}", m.name);
+        }
+        std::process::exit(1);
+    });
+    let predictor = NamedPredictor::FIGURE_ORDER
+        .into_iter()
+        .chain([NamedPredictor::Hybrid0])
+        .find(|p| p.label() == pred_label)
+        .unwrap_or_else(|| {
+            eprintln!("unknown predictor '{pred_label}'; try one of:");
+            for p in NamedPredictor::FIGURE_ORDER {
+                eprintln!("  {}", p.label());
+            }
+            std::process::exit(1);
+        });
+
+    let cfg = SimConfig::paper(42);
+    println!(
+        "Simulating {} with {} ({} Kbits of predictor state)...",
+        model.name,
+        predictor.label(),
+        predictor.total_bits() / 1024
+    );
+    println!(
+        "  warmup {} M instructions, measuring {} M",
+        cfg.warmup_insts / 1_000_000,
+        cfg.measure_insts / 1_000_000
+    );
+
+    let run = simulate(model, predictor.config(), &cfg);
+
+    println!();
+    println!("Performance");
+    println!("  IPC                    {:>8.3}", run.ipc());
+    println!("  direction accuracy     {:>8.2}%", run.accuracy() * 100.0);
+    println!("  squashes               {:>8}", run.stats.squashes);
+    println!();
+    println!("Power & energy (measured window)");
+    println!("  chip power             {:>8.2} W", run.total_power_w());
+    println!("  predictor power        {:>8.2} W", run.bpred_power_w());
+    println!(
+        "  predictor share        {:>8.2}%",
+        100.0 * run.bpred_energy_j() / run.total_energy_j()
+    );
+    println!(
+        "  chip energy            {:>8.3} mJ",
+        run.total_energy_j() * 1e3
+    );
+    println!(
+        "  energy-delay           {:>8.4} uJ*s",
+        run.energy_delay() * 1e6
+    );
+}

@@ -1,0 +1,51 @@
+//! # branchwatt
+//!
+//! A from-scratch Rust reproduction of **“Power Issues Related to
+//! Branch Prediction”** (Parikh, Skadron, Zhang, Barcella, Stan —
+//! HPCA 2002 / UVA TR CS-2001-25): a cycle-level power/performance
+//! simulator for exploring branch-predictor organizations, plus the
+//! paper's three accuracy-preserving power techniques — predictor
+//! **banking**, the **prediction probe detector (PPD)**, and
+//! **pipeline gating**.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`types`] — primitive vocabulary (addresses, outcomes, opcode
+//!   classes).
+//! * [`arrays`] — SRAM array power (Wattch-style, with the paper's
+//!   column decoders), Cacti-style timing, squarification, banking.
+//! * [`workload`] — synthetic SPEC CPU2000-like benchmark models
+//!   calibrated to the paper's Table 2.
+//! * [`predictors`] — bimodal/GAs/gshare/PAs/hybrid direction
+//!   predictors with speculative-history repair, BTB, RAS, PPD.
+//! * [`power`] — chip-wide cc3 power accounting.
+//! * [`uarch`] — the out-of-order core model (Table 1 machine).
+//! * [`experiments`] — one runner per table/figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use branchwatt::{simulate, SimConfig};
+//! use branchwatt::zoo::NamedPredictor;
+//! use branchwatt::workload::benchmark;
+//!
+//! // Simulate gzip on the Alpha-21264-like machine with the
+//! // UltraSPARC-III's 16K-entry gshare predictor.
+//! let run = simulate(
+//!     benchmark("gzip").expect("built-in model"),
+//!     NamedPredictor::Gshare16k12.config(),
+//!     &SimConfig::quick(42),
+//! );
+//! println!(
+//!     "IPC {:.2}  accuracy {:.2}%  chip {:.1} W  predictor {:.2} W",
+//!     run.ipc(),
+//!     run.accuracy() * 100.0,
+//!     run.total_power_w(),
+//!     run.bpred_power_w(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bw_core::*;

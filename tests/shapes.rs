@@ -1,0 +1,199 @@
+//! End-to-end shape tests: the qualitative results of the paper's
+//! evaluation must hold on reduced instruction budgets.
+//!
+//! These run the full stack (workload → predictors → core → power)
+//! through the public facade.
+
+use branchwatt::power::{BpredOptions, PpdScenario};
+use branchwatt::workload::benchmark;
+use branchwatt::zoo::NamedPredictor;
+use branchwatt::{simulate, RunResult, SimConfig};
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        warmup_insts: if cfg!(debug_assertions) {
+            300_000
+        } else {
+            1_500_000
+        },
+        measure_insts: if cfg!(debug_assertions) {
+            100_000
+        } else {
+            400_000
+        },
+        ..SimConfig::paper(11)
+    }
+}
+
+fn run(bench: &str, p: NamedPredictor) -> RunResult {
+    simulate(benchmark(bench).unwrap(), p.config(), &cfg())
+}
+
+#[test]
+fn accuracy_and_ipc_grow_with_bimodal_size() {
+    // Figure 5: larger predictors get better accuracy and higher IPC,
+    // with diminishing returns.
+    let small = run("parser", NamedPredictor::Bim128);
+    let large = run("parser", NamedPredictor::Bim16k);
+    assert!(
+        large.accuracy() > small.accuracy() + 0.01,
+        "Bim_16k {:.4} !> Bim_128 {:.4}",
+        large.accuracy(),
+        small.accuracy()
+    );
+    assert!(
+        large.ipc() > small.ipc(),
+        "{:.3} !> {:.3}",
+        large.ipc(),
+        small.ipc()
+    );
+}
+
+#[test]
+fn chip_energy_tracks_accuracy_not_local_predictor_energy() {
+    // Section 3.2's headline: a large, accurate predictor consumes
+    // more energy locally yet reduces chip-wide energy, because the
+    // program finishes sooner.
+    let tiny = run("crafty", NamedPredictor::Bim128);
+    let hybrid = run("crafty", NamedPredictor::Hybrid3);
+    assert!(
+        hybrid.bpred_energy_j() > tiny.bpred_energy_j(),
+        "the hybrid must burn more locally"
+    );
+    assert!(
+        hybrid.total_energy_j() < tiny.total_energy_j(),
+        "yet save chip-wide: {:.4} !< {:.4} mJ",
+        hybrid.total_energy_j() * 1e3,
+        tiny.total_energy_j() * 1e3
+    );
+}
+
+#[test]
+fn chip_power_tracks_predictor_size_not_accuracy() {
+    // Figure 7: power is an instantaneous measure, so the bigger
+    // predictor raises chip power even though it saves energy.
+    let tiny = run("gzip", NamedPredictor::Bim128);
+    let big = run("gzip", NamedPredictor::Gshare32k12);
+    // (1.35x rather than the steady-state ~1.6x: the reduced debug
+    // budget runs colder, which depresses fetch activity and narrows
+    // the gap.)
+    assert!(
+        big.bpred_power_w() > tiny.bpred_power_w() * 1.35,
+        "predictor power must track size: {:.2} vs {:.2} W",
+        big.bpred_power_w(),
+        tiny.bpred_power_w()
+    );
+    assert!(
+        big.total_power_w() > tiny.total_power_w(),
+        "chip power follows: {:.2} vs {:.2} W",
+        big.total_power_w(),
+        tiny.total_power_w()
+    );
+}
+
+#[test]
+fn predictor_is_around_ten_percent_of_chip_power() {
+    // Introduction: the predictor + BTB dissipate a non-trivial amount
+    // of power — 10% or more of the total.
+    let r = run("gzip", NamedPredictor::Gshare16k12);
+    let share = r.bpred_energy_j() / r.total_energy_j();
+    assert!((0.05..0.2).contains(&share), "predictor share {share:.3}");
+}
+
+#[test]
+fn ppd_cuts_predictor_energy_without_touching_ipc() {
+    // Abstract: the PPD cuts local predictor power/energy by ~45%
+    // (40-60% in Section 5) and chip-wide energy by 5-6%, without
+    // harming accuracy.
+    let mut c = cfg();
+    c.uarch = c.uarch.with_ppd(PpdScenario::One);
+    let with_ppd = simulate(
+        benchmark("gap").unwrap(),
+        NamedPredictor::GAs32k8.config(),
+        &c,
+    );
+    let without = run("gap", NamedPredictor::GAs32k8);
+
+    assert!(
+        (with_ppd.ipc() - without.ipc()).abs() < 0.02,
+        "PPD must not change timing"
+    );
+    assert!(
+        (with_ppd.accuracy() - without.accuracy()).abs() < 0.005,
+        "PPD must not change accuracy"
+    );
+
+    let base = with_ppd.repriced(BpredOptions {
+        ppd: None,
+        ..with_ppd.run_options()
+    });
+    let s1 = with_ppd.repriced(with_ppd.run_options());
+    let local_red = 1.0 - s1.0 / base.0;
+    let chip_red = 1.0 - s1.1 / base.1;
+    assert!(
+        (0.2..0.75).contains(&local_red),
+        "local predictor reduction {local_red:.3} outside the paper's 40-60% band (±)"
+    );
+    assert!(
+        (0.005..0.12).contains(&chip_red),
+        "chip reduction {chip_red:.3} outside the paper's ~5-7% band (±)"
+    );
+}
+
+#[test]
+fn banking_saves_locally_but_only_one_percentish_chip_wide() {
+    // Section 4.1: banking gives modest predictor savings but only
+    // about 1% chip-wide.
+    let r = run("vortex", NamedPredictor::Gshare32k12);
+    let banked = BpredOptions {
+        banked: true,
+        ..r.run_options()
+    };
+    let (b, t) = r.repriced(banked);
+    let local = 1.0 - b / r.bpred_energy_j();
+    let chip = 1.0 - t / r.total_energy_j();
+    assert!(local > 0.03, "local banking saving {local:.4}");
+    assert!(
+        chip < 0.05,
+        "chip-wide banking saving should be small ({chip:.4})"
+    );
+    assert!(chip > 0.0);
+}
+
+#[test]
+fn gating_saves_less_energy_than_instructions() {
+    // Section 4.3: the energy reduction is substantially smaller than
+    // the reduction in (wrong-path) instructions suggests.
+    let mut c = cfg();
+    c.uarch = c.uarch.with_gating(0);
+    let gated = simulate(
+        benchmark("twolf").unwrap(),
+        NamedPredictor::Hybrid0.config(),
+        &c,
+    );
+    let base = run("twolf", NamedPredictor::Hybrid0);
+
+    let inst_red = 1.0 - gated.stats.fetched as f64 / base.stats.fetched as f64;
+    let energy_red = 1.0 - gated.total_energy_j() / base.total_energy_j();
+    assert!(inst_red > 0.0, "gating must cut fetch volume");
+    assert!(
+        energy_red < inst_red,
+        "energy saving ({energy_red:.3}) must trail instruction saving ({inst_red:.3})"
+    );
+}
+
+#[test]
+fn fp_benchmarks_are_less_predictor_sensitive_than_int() {
+    // Section 3.3: FP programs are dominated by loops with lower
+    // branch frequency, so predictor organization moves IPC less.
+    let int_small = run("parser", NamedPredictor::Bim128);
+    let int_big = run("parser", NamedPredictor::Hybrid3);
+    let fp_small = run("swim", NamedPredictor::Bim128);
+    let fp_big = run("swim", NamedPredictor::Hybrid3);
+    let int_gain = int_big.ipc() / int_small.ipc();
+    let fp_gain = fp_big.ipc() / fp_small.ipc();
+    assert!(
+        fp_gain < int_gain,
+        "FP IPC gain ({fp_gain:.3}) must trail int gain ({int_gain:.3})"
+    );
+}
