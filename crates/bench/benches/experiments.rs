@@ -23,11 +23,12 @@ fn bench_experiments(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("simulate_one_cell_smoke", |b| {
         let model = benchmark("vortex").expect("built-in");
-        let cfg = SimConfig {
-            warmup_insts: 50_000,
-            measure_insts: 20_000,
-            ..SimConfig::paper(3)
-        };
+        let cfg = SimConfig::builder()
+            .warmup_insts(50_000)
+            .measure_insts(20_000)
+            .seed(3)
+            .build()
+            .expect("valid config");
         b.iter(|| black_box(simulate(model, NamedPredictor::Bim4k.config(), &cfg).ipc()));
     });
 

@@ -1,13 +1,12 @@
 //! Extension study: the BTB size/associativity design space the paper
 //! defers, measured with the gshare-16K direction predictor.
 
-use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_bench::StudyOut;
 use bw_core::experiments::btb_study;
 use bw_workload::specint7;
 
 fn main() {
-    let cfg = config_from_args();
-    let out = btb_study(&specint7(), &cfg, progress_line());
-    progress_done();
-    println!("{out}");
+    bw_bench::study_main(|runner, cli, progress| {
+        StudyOut::text(btb_study(runner, &specint7(), &cli.cfg, progress))
+    });
 }

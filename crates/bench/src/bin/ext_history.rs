@@ -2,13 +2,12 @@
 //! commit-time history update — quantifying why the paper's simulator
 //! models the former.
 
-use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_bench::StudyOut;
 use bw_core::experiments::spec_history_study;
 use bw_workload::specint7;
 
 fn main() {
-    let cfg = config_from_args();
-    let out = spec_history_study(&specint7(), &cfg, progress_line());
-    progress_done();
-    println!("{out}");
+    bw_bench::study_main(|runner, cli, progress| {
+        StudyOut::text(spec_history_study(runner, &specint7(), &cli.cfg, progress))
+    });
 }

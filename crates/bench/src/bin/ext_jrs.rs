@@ -2,13 +2,13 @@
 //! estimator versus the paper's "both strong" — including on a
 //! non-hybrid predictor, which "both strong" cannot gate.
 
-use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_bench::StudyOut;
 use bw_core::experiments::{jrs_gating_render, jrs_gating_study};
 use bw_workload::specint7;
 
 fn main() {
-    let cfg = config_from_args();
-    let rows = jrs_gating_study(&specint7(), &cfg, progress_line());
-    progress_done();
-    println!("{}", jrs_gating_render(&rows));
+    bw_bench::study_main(|runner, cli, progress| {
+        let rows = jrs_gating_study(runner, &specint7(), &cli.cfg, progress);
+        StudyOut::text(jrs_gating_render(&rows))
+    });
 }

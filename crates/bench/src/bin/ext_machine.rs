@@ -2,13 +2,12 @@
 //! machine's other levers (window size, memory latency, pipeline
 //! depth), for context around the predictor's lever.
 
-use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_bench::StudyOut;
 use bw_core::experiments::machine_ablation;
 use bw_workload::specint7;
 
 fn main() {
-    let cfg = config_from_args();
-    let out = machine_ablation(&specint7(), &cfg, progress_line());
-    progress_done();
-    println!("{out}");
+    bw_bench::study_main(|runner, cli, progress| {
+        StudyOut::text(machine_ablation(runner, &specint7(), &cli.cfg, progress))
+    });
 }

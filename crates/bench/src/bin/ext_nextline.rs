@@ -1,13 +1,12 @@
 //! Extension study: the separate BTB the paper models versus the real
 //! Alpha 21264's integrated next-line predictor.
 
-use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_bench::StudyOut;
 use bw_core::experiments::nextline_study;
 use bw_workload::specint7;
 
 fn main() {
-    let cfg = config_from_args();
-    let out = nextline_study(&specint7(), &cfg, progress_line());
-    progress_done();
-    println!("{out}");
+    bw_bench::study_main(|runner, cli, progress| {
+        StudyOut::text(nextline_study(runner, &specint7(), &cli.cfg, progress))
+    });
 }

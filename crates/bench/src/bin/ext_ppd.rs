@@ -2,14 +2,17 @@
 //! (the paper's proportionality claim) — gate rates are a property of
 //! the instruction stream, so local savings track the gated share.
 
-use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_bench::StudyOut;
 use bw_core::experiments::ppd_proportionality_study;
 use bw_workload::benchmark;
 
 fn main() {
-    let cfg = config_from_args();
-    let out =
-        ppd_proportionality_study(benchmark("gzip").expect("built-in"), &cfg, progress_line());
-    progress_done();
-    println!("{out}");
+    bw_bench::study_main(|runner, cli, progress| {
+        StudyOut::text(ppd_proportionality_study(
+            runner,
+            benchmark("gzip").expect("built-in"),
+            &cli.cfg,
+            progress,
+        ))
+    });
 }

@@ -1,17 +1,10 @@
 //! Regenerates Figure 2: comparison between the "old" Wattch 1.02 and
 //! "new" (column-decoder) array power models, averaged over SPECint.
 
-use bw_bench::{cli_from_args, progress_done, progress_line, write_csv};
-use bw_core::experiments::{base_sweep, fig02_model_comparison};
+use bw_core::experiments::fig02_model_comparison;
+use bw_core::export::sweep_csv;
 use bw_workload::specint;
 
 fn main() {
-    let cli = cli_from_args();
-    let cfg = cli.cfg;
-    let rows = base_sweep(&specint(), &cfg, progress_line());
-    progress_done();
-    if let Some(path) = &cli.csv {
-        write_csv(path, &bw_core::export::sweep_csv(&rows));
-    }
-    println!("{}", fig02_model_comparison(&rows));
+    bw_bench::sweep_figure_main("", &specint(), sweep_csv, fig02_model_comparison);
 }

@@ -1,18 +1,15 @@
 //! Regenerates Figure 6: SPECint branch-predictor energy, overall
 //! energy, and overall energy-delay.
 
-use bw_bench::{cli_from_args, progress_done, progress_line, write_csv};
-use bw_core::experiments::{base_sweep, fig06_energy};
+use bw_core::experiments::fig06_energy;
+use bw_core::export::sweep_csv;
 use bw_workload::specint;
 
 fn main() {
-    let cli = cli_from_args();
-    let cfg = cli.cfg;
-    let rows = base_sweep(&specint(), &cfg, progress_line());
-    progress_done();
-    if let Some(path) = &cli.csv {
-        write_csv(path, &bw_core::export::sweep_csv(&rows));
-    }
-    println!("Figure 6 (SPECint2000)\n");
-    println!("{}", fig06_energy(&rows));
+    bw_bench::sweep_figure_main(
+        "Figure 6 (SPECint2000)",
+        &specint(),
+        sweep_csv,
+        fig06_energy,
+    );
 }

@@ -1,17 +1,9 @@
 //! Regenerates Figure 10: SPECfp predictor power and overall power.
 
-use bw_bench::{cli_from_args, progress_done, progress_line, write_csv};
-use bw_core::experiments::{base_sweep, fig07_power};
+use bw_core::experiments::fig07_power;
+use bw_core::export::sweep_csv;
 use bw_workload::specfp;
 
 fn main() {
-    let cli = cli_from_args();
-    let cfg = cli.cfg;
-    let rows = base_sweep(&specfp(), &cfg, progress_line());
-    progress_done();
-    if let Some(path) = &cli.csv {
-        write_csv(path, &bw_core::export::sweep_csv(&rows));
-    }
-    println!("Figure 10 (SPECfp2000)\n");
-    println!("{}", fig07_power(&rows));
+    bw_bench::sweep_figure_main("Figure 10 (SPECfp2000)", &specfp(), sweep_csv, fig07_power);
 }

@@ -2,17 +2,10 @@
 //! and overall power/energy/energy-delay from banking, over the
 //! Section-4 SPECint subset.
 
-use bw_bench::{cli_from_args, progress_done, progress_line, write_csv};
-use bw_core::experiments::{base_sweep, fig12_13_banking};
+use bw_core::experiments::fig12_13_banking;
+use bw_core::export::banking_csv;
 use bw_workload::specint7;
 
 fn main() {
-    let cli = cli_from_args();
-    let cfg = cli.cfg;
-    let rows = base_sweep(&specint7(), &cfg, progress_line());
-    progress_done();
-    if let Some(path) = &cli.csv {
-        write_csv(path, &bw_core::export::banking_csv(&rows));
-    }
-    println!("{}", fig12_13_banking(&rows));
+    bw_bench::sweep_figure_main("", &specint7(), banking_csv, fig12_13_banking);
 }

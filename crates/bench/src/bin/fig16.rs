@@ -2,17 +2,17 @@
 //! prediction probe detector on a 32K-entry GAs predictor, for both
 //! timing scenarios and with/without banking.
 
-use bw_bench::{cli_from_args, progress_done, progress_line, write_csv};
-use bw_core::experiments::{fig16_fig17_render, ppd_study};
+use bw_bench::StudyOut;
+use bw_core::experiments::{fig16_fig17_render, ppd_rows};
+use bw_core::export::ppd_csv;
 use bw_workload::specint7;
 
 fn main() {
-    let cli = cli_from_args();
-    let cfg = cli.cfg;
-    let rows = ppd_study(&specint7(), &cfg, progress_line());
-    progress_done();
-    if let Some(path) = &cli.csv {
-        write_csv(path, &bw_core::export::ppd_csv(&rows));
-    }
-    println!("{}", fig16_fig17_render(&rows));
+    bw_bench::study_main(|runner, cli, progress| {
+        let rows = ppd_rows(runner, &specint7(), &cli.cfg, progress);
+        StudyOut {
+            text: fig16_fig17_render(&rows),
+            csv: Some(ppd_csv(&rows)),
+        }
+    });
 }

@@ -2,17 +2,17 @@
 //! confidence estimation — normalized energy, instruction volume and
 //! IPC for hybrid_0 and hybrid_3 at thresholds N = 0, 1, 2.
 
-use bw_bench::{cli_from_args, progress_done, progress_line, write_csv};
-use bw_core::experiments::{fig19_render, gating_study};
+use bw_bench::StudyOut;
+use bw_core::experiments::{fig19_render, gating_rows};
+use bw_core::export::gating_csv;
 use bw_workload::specint7;
 
 fn main() {
-    let cli = cli_from_args();
-    let cfg = cli.cfg;
-    let rows = gating_study(&specint7(), &cfg, progress_line());
-    progress_done();
-    if let Some(path) = &cli.csv {
-        write_csv(path, &bw_core::export::gating_csv(&rows));
-    }
-    println!("{}", fig19_render(&rows));
+    bw_bench::study_main(|runner, cli, progress| {
+        let rows = gating_rows(runner, &specint7(), &cli.cfg, progress);
+        StudyOut {
+            text: fig19_render(&rows),
+            csv: Some(gating_csv(&rows)),
+        }
+    });
 }

@@ -1,19 +1,23 @@
 //! Regenerates every table and figure of the paper in one run,
 //! printing them in order. This is the binary behind EXPERIMENTS.md.
 //!
-//! The SPECint and SPECfp base sweeps are each run once and shared by
-//! all the figures derived from them.
+//! All simulations go through one [`Runner`](bw_core::Runner): the
+//! SPECint and SPECfp base sweeps are each executed once (deduplicated
+//! by the run plan, cached across invocations) and shared by all the
+//! figures derived from them.
 
-use bw_bench::{config_from_args, progress_done, progress_line};
+use bw_bench::{progress_done, progress_line, Cli};
 use bw_core::experiments::{
-    base_sweep, fig02_model_comparison, fig03_squarification, fig05_accuracy_ipc, fig06_energy,
-    fig07_power, fig11_banked_timing, fig12_13_banking, fig14_distances, fig16_fig17_render,
-    fig19_render, gating_study, ppd_study, table1, table2, table3,
+    fig02_model_comparison, fig03_squarification, fig05_accuracy_ipc, fig06_energy, fig07_power,
+    fig11_banked_timing, fig12_13_banking, fig14_distances, fig16_fig17_render, fig19_render,
+    gating_rows, ppd_rows, sweep_rows, table1, table2, table3,
 };
 use bw_workload::{all_benchmarks, specfp, specint, specint7};
 
 fn main() {
-    let cfg = config_from_args();
+    let cli = Cli::parse();
+    let cfg = &cli.cfg;
+    let runner = cli.runner();
     let trace_insts = (cfg.warmup_insts + cfg.measure_insts).max(2_000_000);
 
     println!("{}", table1());
@@ -23,7 +27,7 @@ fn main() {
     println!("{}", fig03_squarification());
 
     eprintln!("SPECint base sweep (14 configurations x 10 benchmarks)...");
-    let int_rows = base_sweep(&specint(), &cfg, progress_line());
+    let int_rows = sweep_rows(&runner, &specint(), cfg, progress_line());
     progress_done();
     println!("{}", fig02_model_comparison(&int_rows));
     println!("Figure 5 (SPECint2000)\n");
@@ -34,7 +38,7 @@ fn main() {
     println!("{}", fig07_power(&int_rows));
 
     eprintln!("SPECfp base sweep (14 configurations x 12 benchmarks)...");
-    let fp_rows = base_sweep(&specfp(), &cfg, progress_line());
+    let fp_rows = sweep_rows(&runner, &specfp(), cfg, progress_line());
     progress_done();
     println!("Figure 8 (SPECfp2000)\n");
     println!("{}", fig05_accuracy_ipc(&fp_rows));
@@ -47,19 +51,19 @@ fn main() {
     println!("{}", fig11_banked_timing());
 
     eprintln!("Banking study (Section-4 subset)...");
-    let subset_rows = base_sweep(&specint7(), &cfg, progress_line());
+    let subset_rows = sweep_rows(&runner, &specint7(), cfg, progress_line());
     progress_done();
     println!("{}", fig12_13_banking(&subset_rows));
 
     println!("{}", fig14_distances(&specint7(), trace_insts, cfg.seed));
 
     eprintln!("PPD study...");
-    let ppd_rows = ppd_study(&specint7(), &cfg, progress_line());
+    let ppd = ppd_rows(&runner, &specint7(), cfg, progress_line());
     progress_done();
-    println!("{}", fig16_fig17_render(&ppd_rows));
+    println!("{}", fig16_fig17_render(&ppd));
 
     eprintln!("Pipeline gating study...");
-    let gating_rows = gating_study(&specint7(), &cfg, progress_line());
+    let gating = gating_rows(&runner, &specint7(), cfg, progress_line());
     progress_done();
-    println!("{}", fig19_render(&gating_rows));
+    println!("{}", fig19_render(&gating));
 }

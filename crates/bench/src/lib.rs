@@ -1,4 +1,4 @@
-//! Shared plumbing for the per-table/per-figure experiment binaries.
+//! Shared harness for the per-table/per-figure experiment binaries.
 //!
 //! Every binary accepts the same flags:
 //!
@@ -7,50 +7,154 @@
 //!   1M measured instructions per simulation.
 //! * `--warmup N` / `--measure N` — explicit budgets.
 //! * `--seed N` — workload seed.
+//! * `--csv FILE` — also write machine-readable rows.
+//! * `--jobs N` — worker threads (default: all available cores).
+//! * `--cache-dir DIR` — run-cache location (default `results/cache`).
+//! * `--no-cache` — simulate everything, ignore and don't write the
+//!   cache.
 //!
 //! Run them as `cargo run --release -p bw-bench --bin fig05 -- [flags]`.
+//!
+//! The harness owns all the plumbing the binaries used to copy-paste:
+//! argument parsing, [`Runner`] construction (worker pool + persistent
+//! [`RunCache`]), the stderr progress line, and CSV output. A sweep
+//! binary is one [`sweep_figure_main`] call; a study binary is one
+//! [`study_main`] call.
 
 use std::io::Write;
 use std::path::PathBuf;
 
-use bw_core::SimConfig;
+use bw_core::experiments::{sweep_rows, SweepRow};
+use bw_core::{RunCache, Runner, SimConfig};
+use bw_workload::BenchmarkModel;
 
-/// Parsed command line: simulation budget plus an optional CSV output
-/// path (`--csv FILE`).
+/// Parsed command line: simulation budget, runner controls, and an
+/// optional CSV output path.
 #[derive(Clone, Debug)]
 pub struct Cli {
     /// The simulation configuration.
     pub cfg: SimConfig,
     /// Where to also write machine-readable rows, if requested.
     pub csv: Option<PathBuf>,
+    /// Explicit worker count (`--jobs N`); `None` sizes to the
+    /// machine.
+    pub jobs: Option<usize>,
+    /// Disable the persistent run cache (`--no-cache`).
+    pub no_cache: bool,
+    /// Cache directory override (`--cache-dir DIR`).
+    pub cache_dir: Option<PathBuf>,
 }
 
-/// Parses the common CLI flags plus `--csv FILE`.
-///
-/// # Panics
-///
-/// Panics (with a usage message) on malformed arguments.
-#[must_use]
-pub fn cli_from_args() -> Cli {
-    let mut csv = None;
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut rest = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--csv" {
+impl Cli {
+    /// Parses the common flags from `std::env::args`.
+    ///
+    /// Exits the process (status 2, with a usage message) on malformed
+    /// arguments.
+    #[must_use]
+    pub fn parse() -> Cli {
+        Self::parse_from(std::env::args().skip(1).collect())
+    }
+
+    fn parse_from(args: Vec<String>) -> Cli {
+        let mut cli = Cli {
+            cfg: SimConfig::paper(0xb4a2),
+            csv: None,
+            jobs: None,
+            no_cache: false,
+            cache_dir: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    cli.cfg.warmup_insts = 600_000;
+                    cli.cfg.measure_insts = 200_000;
+                }
+                "--paper" => {
+                    cli.cfg.warmup_insts = 3_000_000;
+                    cli.cfg.measure_insts = 1_000_000;
+                }
+                "--warmup" => {
+                    i += 1;
+                    cli.cfg.warmup_insts = parse_num(&args, i, "--warmup");
+                }
+                "--measure" => {
+                    i += 1;
+                    cli.cfg.measure_insts = parse_num(&args, i, "--measure");
+                }
+                "--seed" => {
+                    i += 1;
+                    cli.cfg.seed = parse_num(&args, i, "--seed");
+                }
+                "--csv" => {
+                    i += 1;
+                    cli.csv = Some(PathBuf::from(parse_path(&args, i, "--csv")));
+                }
+                "--jobs" => {
+                    i += 1;
+                    cli.jobs = Some(parse_num(&args, i, "--jobs") as usize);
+                }
+                "--no-cache" => cli.no_cache = true,
+                "--cache-dir" => {
+                    i += 1;
+                    cli.cache_dir = Some(PathBuf::from(parse_path(&args, i, "--cache-dir")));
+                }
+                other => bad_flag(&format!("unknown flag '{other}'")),
+            }
             i += 1;
-            csv = Some(PathBuf::from(
-                args.get(i).expect("--csv needs a file path").clone(),
-            ));
-        } else {
-            rest.push(args[i].clone());
         }
-        i += 1;
+        cli
     }
-    Cli {
-        cfg: config_from(&rest),
-        csv,
+
+    /// Builds the [`Runner`] these flags describe: a worker pool sized
+    /// by `--jobs` (default: available cores) over the persistent run
+    /// cache, unless `--no-cache`.
+    #[must_use]
+    pub fn runner(&self) -> Runner {
+        let runner = match self.jobs {
+            Some(n) => Runner::with_jobs(n),
+            None => Runner::parallel(),
+        };
+        if self.no_cache {
+            runner
+        } else {
+            let dir = self.cache_dir.clone().unwrap_or_else(RunCache::default_dir);
+            runner.cached(RunCache::new(dir))
+        }
     }
+}
+
+fn bad_flag(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: [--quick|--paper] [--warmup N] [--measure N] [--seed N] \
+         [--csv FILE] [--jobs N] [--no-cache] [--cache-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(args: &[String], i: usize, flag: &str) -> u64 {
+    let Some(arg) = args.get(i) else {
+        bad_flag(&format!("{flag} needs a number"));
+    };
+    match arg.replace('_', "").parse() {
+        Ok(n) => n,
+        Err(_) => bad_flag(&format!("{flag} needs a number, got '{arg}'")),
+    }
+}
+
+fn parse_path(args: &[String], i: usize, flag: &str) -> String {
+    match args.get(i) {
+        Some(p) => p.clone(),
+        None => bad_flag(&format!("{flag} needs a path")),
+    }
+}
+
+/// Parses the common CLI flags (no `--csv` handling) into a
+/// [`SimConfig`] — kept for binaries that only need a budget.
+#[must_use]
+pub fn config_from_args() -> SimConfig {
+    Cli::parse().cfg
 }
 
 /// Writes CSV content, logging the destination.
@@ -63,64 +167,8 @@ pub fn write_csv(path: &PathBuf, content: &str) {
     eprintln!("  wrote {}", path.display());
 }
 
-/// Parses the common CLI flags into a [`SimConfig`].
-///
-/// # Panics
-///
-/// Panics (with a usage message) on malformed numeric arguments.
-#[must_use]
-pub fn config_from_args() -> SimConfig {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    config_from(&args)
-}
-
-fn config_from(args: &[String]) -> SimConfig {
-    let mut cfg = SimConfig::paper(0xb4a2);
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => {
-                cfg.warmup_insts = 600_000;
-                cfg.measure_insts = 200_000;
-            }
-            "--paper" => {
-                cfg.warmup_insts = 3_000_000;
-                cfg.measure_insts = 1_000_000;
-            }
-            "--warmup" => {
-                i += 1;
-                cfg.warmup_insts = parse_num(args, i, "--warmup");
-            }
-            "--measure" => {
-                i += 1;
-                cfg.measure_insts = parse_num(args, i, "--measure");
-            }
-            "--seed" => {
-                i += 1;
-                cfg.seed = parse_num(args, i, "--seed");
-            }
-            other => {
-                eprintln!("unknown flag '{other}'");
-                eprintln!(
-                    "usage: [--quick|--paper] [--warmup N] [--measure N] [--seed N] [--csv FILE]"
-                );
-                std::process::exit(2);
-            }
-        }
-        i += 1;
-    }
-    cfg
-}
-
-#[allow(clippy::ptr_arg)]
-fn parse_num(args: &[String], i: usize, flag: &str) -> u64 {
-    args.get(i)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("{flag} needs a numeric argument"))
-}
-
 /// A progress callback that keeps a single status line on stderr.
-pub fn progress_line() -> impl FnMut(&str) {
+pub fn progress_line() -> impl FnMut(&str) + Send {
     |msg: &str| {
         eprint!("\r\x1b[2K  running: {msg}");
         let _ = std::io::stderr().flush();
@@ -132,17 +180,102 @@ pub fn progress_done() {
     eprintln!("\r\x1b[2K  done");
 }
 
+/// The whole main function of a base-sweep figure binary: parse flags,
+/// run (or re-load) the sweep over `suite`, write `csv` rows if
+/// requested, and print `title` plus the rendered figure.
+pub fn sweep_figure_main(
+    title: &str,
+    suite: &[&'static BenchmarkModel],
+    csv: impl FnOnce(&[SweepRow]) -> String,
+    render: impl FnOnce(&[SweepRow]) -> String,
+) {
+    let cli = Cli::parse();
+    let runner = cli.runner();
+    let rows = sweep_rows(&runner, suite, &cli.cfg, progress_line());
+    progress_done();
+    if let Some(path) = &cli.csv {
+        write_csv(path, &csv(&rows));
+    }
+    if !title.is_empty() {
+        println!("{title}\n");
+    }
+    println!("{}", render(&rows));
+}
+
+/// What a study body hands back to [`study_main`].
+pub struct StudyOut {
+    /// The rendered text, printed to stdout.
+    pub text: String,
+    /// Machine-readable rows for `--csv`, if the study exports any.
+    pub csv: Option<String>,
+}
+
+impl StudyOut {
+    /// A text-only study result.
+    #[must_use]
+    pub fn text(text: String) -> Self {
+        StudyOut { text, csv: None }
+    }
+}
+
+/// The whole main function of a study binary: parse flags, hand the
+/// body a [`Runner`] and a progress callback, then print (and
+/// optionally CSV-export) what it returns.
+pub fn study_main(run: impl FnOnce(&Runner, &Cli, &mut (dyn FnMut(&str) + Send)) -> StudyOut) {
+    let cli = Cli::parse();
+    let runner = cli.runner();
+    let mut progress = progress_line();
+    let out = run(&runner, &cli, &mut progress);
+    progress_done();
+    if let Some(path) = &cli.csv {
+        if let Some(rows) = &out.csv {
+            write_csv(path, rows);
+        } else {
+            eprintln!("  (this study has no CSV export; --csv ignored)");
+        }
+    }
+    println!("{}", out.text);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse_from(args.iter().map(|s| (*s).to_string()).collect())
+    }
+
     #[test]
     fn default_config_is_paper_scale() {
-        // No args in the test harness beyond the binary name; the
-        // function must not panic and must produce the paper budget.
-        let cfg = SimConfig::paper(1);
-        assert_eq!(cfg.warmup_insts, 3_000_000);
-        assert_eq!(cfg.measure_insts, 1_000_000);
+        let cli = parse(&[]);
+        assert_eq!(cli.cfg.warmup_insts, 3_000_000);
+        assert_eq!(cli.cfg.measure_insts, 1_000_000);
+        assert!(cli.csv.is_none());
+        assert!(cli.jobs.is_none());
+        assert!(!cli.no_cache);
+    }
+
+    #[test]
+    fn runner_flags_are_parsed() {
+        let cli = parse(&[
+            "--quick",
+            "--jobs",
+            "3",
+            "--no-cache",
+            "--cache-dir",
+            "/tmp/bwcache",
+            "--seed",
+            "9",
+        ]);
+        assert_eq!(cli.cfg.warmup_insts, 600_000);
+        assert_eq!(cli.cfg.seed, 9);
+        assert_eq!(cli.jobs, Some(3));
+        assert!(cli.no_cache);
+        assert_eq!(
+            cli.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/bwcache"))
+        );
+        assert_eq!(cli.runner().jobs(), 3);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use bw_power::BpredOptions;
 use bw_workload::BenchmarkModel;
 
 use crate::report::{f3, f4, mean, pct, Table};
-use crate::sim::{simulate, RunResult, SimConfig};
+use crate::runner::{RunPlan, Runner};
+use crate::sim::{RunResult, SimConfig};
 use crate::zoo::NamedPredictor;
 
 /// One cell of the sweep: a predictor configuration on a benchmark.
@@ -19,27 +20,43 @@ pub struct SweepRow {
     pub run: RunResult,
 }
 
-/// Runs the paper's fourteen predictor configurations over a set of
-/// benchmark models (Section 3.2/3.3).
+/// Plans the paper's fourteen predictor configurations over a set of
+/// benchmark models (Section 3.2/3.3) and executes them on `runner`.
 ///
-/// `progress` is invoked with a short status line before each
-/// simulation (useful for the long full-scale sweeps).
+/// The keys are shared with any other figure planning the same runs:
+/// with a cached runner, regenerating Figures 5, 6 and 7 back-to-back
+/// simulates the sweep once and serves the repeats from the cache.
+pub fn sweep_rows(
+    runner: &Runner,
+    models: &[&'static BenchmarkModel],
+    cfg: &SimConfig,
+    progress: impl FnMut(&str) + Send,
+) -> Vec<SweepRow> {
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::with_capacity(NamedPredictor::FIGURE_ORDER.len() * models.len());
+    for p in NamedPredictor::FIGURE_ORDER {
+        for m in models {
+            let label = format!("{} / {}", p.label(), m.name);
+            keys.push((p, plan.add_labeled(m, p.config(), cfg, label)));
+        }
+    }
+    let mut set = runner.run(&plan, progress);
+    keys.into_iter()
+        .map(|(predictor, key)| SweepRow {
+            predictor,
+            run: set.remove(&key).expect("planned run present"),
+        })
+        .collect()
+}
+
+/// Serial convenience form of [`sweep_rows`] — the paper's base sweep
+/// on a one-worker, uncached [`Runner`].
 pub fn base_sweep(
     models: &[&'static BenchmarkModel],
     cfg: &SimConfig,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> Vec<SweepRow> {
-    let mut rows = Vec::with_capacity(NamedPredictor::FIGURE_ORDER.len() * models.len());
-    for p in NamedPredictor::FIGURE_ORDER {
-        for m in models {
-            progress(&format!("{} / {}", p.label(), m.name));
-            rows.push(SweepRow {
-                predictor: p,
-                run: simulate(m, p.config(), cfg),
-            });
-        }
-    }
-    rows
+    sweep_rows(&Runner::serial(), models, cfg, progress)
 }
 
 fn benchmarks_of(rows: &[SweepRow]) -> Vec<&'static str> {
@@ -294,6 +311,7 @@ pub fn fig12_13_banking(rows: &[SweepRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::simulate;
     use bw_workload::benchmark;
 
     fn mini_sweep() -> Vec<SweepRow> {

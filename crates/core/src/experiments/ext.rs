@@ -14,13 +14,18 @@
 //! * [`banking_ablation`] — Table 3 fixes the bank counts; this sweep
 //!   shows the energy/delay trade as the bank count varies, justifying
 //!   the choice.
+//!
+//! Every simulating study takes a [`Runner`] and declares its runs in
+//! a [`RunPlan`], so repeated invocations hit the runner's cache and
+//! independent runs execute in parallel.
 
 use bw_arrays::{ArrayModel, ArraySpec, BankedArrayModel, ModelKind, TechParams};
 use bw_power::{BpredOptions, PpdScenario};
 use bw_workload::BenchmarkModel;
 
 use crate::report::{f3, f4, mean, pct, Table};
-use crate::sim::{simulate, RunResult, SimConfig};
+use crate::runner::{RunPlan, Runner};
+use crate::sim::{RunResult, SimConfig};
 use crate::zoo::NamedPredictor;
 
 /// One gating-estimator measurement.
@@ -37,11 +42,13 @@ pub struct JrsGatingRow {
 /// Runs N=0 pipeline gating under both confidence estimators for a
 /// hybrid and a non-hybrid predictor.
 pub fn jrs_gating_study(
+    runner: &Runner,
     models: &[&'static BenchmarkModel],
     cfg: &SimConfig,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> Vec<JrsGatingRow> {
-    let mut rows = Vec::new();
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::new();
     for predictor in [NamedPredictor::Hybrid3, NamedPredictor::Gshare32k12] {
         for (estimator, mk) in [
             ("none", None),
@@ -57,20 +64,23 @@ pub fn jrs_gating_study(
                 };
             }
             for m in models {
-                progress(&format!(
-                    "{} gating[{estimator}] / {}",
-                    predictor.label(),
-                    m.name
-                ));
-                rows.push(JrsGatingRow {
+                let label = format!("{} gating[{estimator}] / {}", predictor.label(), m.name);
+                keys.push((
                     predictor,
                     estimator,
-                    run: simulate(m, predictor.config(), &c),
-                });
+                    plan.add_labeled(m, predictor.config(), &c, label),
+                ));
             }
         }
     }
-    rows
+    let mut set = runner.run(&plan, progress);
+    keys.into_iter()
+        .map(|(predictor, estimator, key)| JrsGatingRow {
+            predictor,
+            estimator,
+            run: set.remove(&key).expect("planned run present"),
+        })
+        .collect()
 }
 
 /// Renders the JRS-vs-both-strong comparison (normalized to no gating).
@@ -121,30 +131,36 @@ pub fn jrs_gating_render(rows: &[JrsGatingRow]) -> String {
 
 /// Measures PPD local/chip savings across predictor organizations.
 pub fn ppd_proportionality_study(
+    runner: &Runner,
     model: &'static BenchmarkModel,
     cfg: &SimConfig,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> String {
     let mut c = cfg.clone();
     c.uarch = c.uarch.with_ppd(PpdScenario::One);
+    let preds = [
+        NamedPredictor::Bim4k,
+        NamedPredictor::Gshare16k12,
+        NamedPredictor::GAs32k8,
+        NamedPredictor::Hybrid3,
+    ];
+    let mut plan = RunPlan::new();
+    let keys: Vec<_> = preds
+        .iter()
+        .map(|p| {
+            let label = format!("PPD proportionality {} / {}", p.label(), model.name);
+            (*p, plan.add_labeled(model, p.config(), &c, label))
+        })
+        .collect();
+    let mut set = runner.run(&plan, progress);
     let mut t = Table::new(vec![
         "predictor".into(),
         "dir gate rate".into(),
         "bpred energy red. (S1)".into(),
         "chip energy red. (S1)".into(),
     ]);
-    for p in [
-        NamedPredictor::Bim4k,
-        NamedPredictor::Gshare16k12,
-        NamedPredictor::GAs32k8,
-        NamedPredictor::Hybrid3,
-    ] {
-        progress(&format!(
-            "PPD proportionality {} / {}",
-            p.label(),
-            model.name
-        ));
-        let run = simulate(model, p.config(), &c);
+    for (p, key) in keys {
+        let run = set.remove(&key).expect("planned run present");
         let base = run.repriced(BpredOptions {
             ppd: None,
             ..run.run_options()
@@ -200,10 +216,38 @@ pub fn banking_ablation() -> String {
 /// question of the Skadron et al. study the paper's simulator builds
 /// on.
 pub fn spec_history_study(
+    runner: &Runner,
     models: &[&'static BenchmarkModel],
     cfg: &SimConfig,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> String {
+    let mut nc = cfg.clone();
+    nc.uarch = nc.uarch.with_commit_time_history();
+    let preds = [
+        NamedPredictor::Gshare16k12,
+        NamedPredictor::PAs4k16k8,
+        NamedPredictor::Hybrid1,
+    ];
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::new();
+    for p in preds {
+        for m in models {
+            let spec = plan.add_labeled(
+                m,
+                p.config(),
+                cfg,
+                format!("history {} / {}", p.label(), m.name),
+            );
+            let commit = plan.add_labeled(
+                m,
+                p.config(),
+                &nc,
+                format!("history(commit) {} / {}", p.label(), m.name),
+            );
+            keys.push((p, spec, commit));
+        }
+    }
+    let set = runner.run(&plan, progress);
     let mut t = Table::new(vec![
         "predictor".into(),
         "spec acc".into(),
@@ -211,18 +255,14 @@ pub fn spec_history_study(
         "spec IPC".into(),
         "commit-time IPC".into(),
     ]);
-    for p in [
-        NamedPredictor::Gshare16k12,
-        NamedPredictor::PAs4k16k8,
-        NamedPredictor::Hybrid1,
-    ] {
+    for p in preds {
         let (mut sa, mut na, mut si, mut ni) = (vec![], vec![], vec![], vec![]);
-        for m in models {
-            progress(&format!("history {} / {}", p.label(), m.name));
-            let spec = simulate(m, p.config(), cfg);
-            let mut nc = cfg.clone();
-            nc.uarch = nc.uarch.with_commit_time_history();
-            let nonspec = simulate(m, p.config(), &nc);
+        for (kp, spec_key, commit_key) in &keys {
+            if *kp != p {
+                continue;
+            }
+            let spec = set.get(spec_key).expect("planned run present");
+            let nonspec = set.get(commit_key).expect("planned run present");
             sa.push(spec.accuracy());
             na.push(nonspec.accuracy());
             si.push(spec.ipc());
@@ -248,10 +288,37 @@ pub fn spec_history_study(
 /// deferral points at: target-prediction rate, IPC, and predictor
 /// power (the BTB is most of it).
 pub fn btb_study(
+    runner: &Runner,
     models: &[&'static BenchmarkModel],
     cfg: &SimConfig,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> String {
+    let points = [
+        (512u64, 1u32),
+        (512, 4),
+        (1024, 2),
+        (2048, 1),
+        (2048, 2),
+        (2048, 4),
+        (4096, 2),
+        (8192, 4),
+    ];
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::new();
+    for (entries, assoc) in points {
+        let mut c = cfg.clone();
+        c.uarch.btb_entries = entries;
+        c.uarch.btb_assoc = assoc;
+        for m in models {
+            let label = format!("BTB {entries}x{assoc} / {}", m.name);
+            keys.push((
+                entries,
+                assoc,
+                plan.add_labeled(m, NamedPredictor::Gshare16k12.config(), &c, label),
+            ));
+        }
+    }
+    let set = runner.run(&plan, progress);
     let mut t = Table::new(vec![
         "BTB".into(),
         "addr-pred rate".into(),
@@ -261,24 +328,14 @@ pub fn btb_study(
         "total W".into(),
         "total mJ".into(),
     ]);
-    for (entries, assoc) in [
-        (512u64, 1u32),
-        (512, 4),
-        (1024, 2),
-        (2048, 1),
-        (2048, 2),
-        (2048, 4),
-        (4096, 2),
-        (8192, 4),
-    ] {
-        let mut c = cfg.clone();
-        c.uarch.btb_entries = entries;
-        c.uarch.btb_assoc = assoc;
+    for (entries, assoc) in points {
         let (mut addr, mut mf, mut ipc, mut bw, mut tw, mut te) =
             (vec![], vec![], vec![], vec![], vec![], vec![]);
-        for m in models {
-            progress(&format!("BTB {entries}x{assoc} / {}", m.name));
-            let r = simulate(m, NamedPredictor::Gshare16k12.config(), &c);
+        for (ke, ka, key) in &keys {
+            if (*ke, *ka) != (entries, assoc) {
+                continue;
+            }
+            let r = set.get(key).expect("planned run present");
             addr.push(r.stats.cti_addr_correct as f64 / r.stats.cti_committed.max(1) as f64);
             mf.push(r.stats.misfetches as f64 * 1e3 / r.stats.committed.max(1) as f64);
             ipc.push(r.ipc());
@@ -306,10 +363,32 @@ pub fn btb_study(
 /// 21264's next-line predictor front end: performance cost versus the
 /// (large) front-end power saved by dropping the tagged BTB.
 pub fn nextline_study(
+    runner: &Runner,
     models: &[&'static BenchmarkModel],
     cfg: &SimConfig,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> String {
+    let variants = [("2048x2 BTB", false), ("next-line predictor", true)];
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::new();
+    for (label, nlp) in variants {
+        let mut c = cfg.clone();
+        if nlp {
+            c.uarch = c.uarch.with_next_line_predictor();
+        }
+        for m in models {
+            keys.push((
+                label,
+                plan.add_labeled(
+                    m,
+                    NamedPredictor::Hybrid1.config(),
+                    &c,
+                    format!("{label} / {}", m.name),
+                ),
+            ));
+        }
+    }
+    let set = runner.run(&plan, progress);
     let mut t = Table::new(vec![
         "front end".into(),
         "IPC".into(),
@@ -318,15 +397,13 @@ pub fn nextline_study(
         "total W".into(),
         "total mJ".into(),
     ]);
-    for (label, nlp) in [("2048x2 BTB", false), ("next-line predictor", true)] {
-        let mut c = cfg.clone();
-        if nlp {
-            c.uarch = c.uarch.with_next_line_predictor();
-        }
+    for (label, _) in variants {
         let (mut ipc, mut addr, mut bw, mut tw, mut te) = (vec![], vec![], vec![], vec![], vec![]);
-        for m in models {
-            progress(&format!("{label} / {}", m.name));
-            let r = simulate(m, NamedPredictor::Hybrid1.config(), &c);
+        for (kl, key) in &keys {
+            if *kl != label {
+                continue;
+            }
+            let r = set.get(key).expect("planned run present");
             ipc.push(r.ipc());
             addr.push(r.stats.cti_addr_correct as f64 / r.stats.cti_committed.max(1) as f64);
             bw.push(r.bpred_power_w());
@@ -353,17 +430,11 @@ pub fn nextline_study(
 /// the predictor's lever (Section 3) among the other levers the
 /// machine has.
 pub fn machine_ablation(
+    runner: &Runner,
     models: &[&'static BenchmarkModel],
     cfg: &SimConfig,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> String {
-    let mut t = Table::new(vec![
-        "machine".into(),
-        "IPC".into(),
-        "total W".into(),
-        "total mJ".into(),
-        "ED uJ*s".into(),
-    ]);
     type Tweak = Box<dyn Fn(&mut SimConfig)>;
     let variants: Vec<(&str, Tweak)> = vec![
         ("baseline (Table 1)", Box::new(|_c: &mut SimConfig| {})),
@@ -392,20 +463,45 @@ pub fn machine_ablation(
             Box::new(|c| c.uarch.extra_rename_stages = 6),
         ),
     ];
-    for (label, tweak) in variants {
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::new();
+    for (label, tweak) in &variants {
         let mut c = cfg.clone();
         tweak(&mut c);
-        let (mut ipc, mut tw, mut te, mut ed) = (vec![], vec![], vec![], vec![]);
         for m in models {
-            progress(&format!("{label} / {}", m.name));
-            let r = simulate(m, NamedPredictor::Gshare16k12.config(), &c);
+            keys.push((
+                *label,
+                plan.add_labeled(
+                    m,
+                    NamedPredictor::Gshare16k12.config(),
+                    &c,
+                    format!("{label} / {}", m.name),
+                ),
+            ));
+        }
+    }
+    let set = runner.run(&plan, progress);
+    let mut t = Table::new(vec![
+        "machine".into(),
+        "IPC".into(),
+        "total W".into(),
+        "total mJ".into(),
+        "ED uJ*s".into(),
+    ]);
+    for (label, _) in &variants {
+        let (mut ipc, mut tw, mut te, mut ed) = (vec![], vec![], vec![], vec![]);
+        for (kl, key) in &keys {
+            if kl != label {
+                continue;
+            }
+            let r = set.get(key).expect("planned run present");
             ipc.push(r.ipc());
             tw.push(r.total_power_w());
             te.push(r.total_energy_j() * 1e3);
             ed.push(r.energy_delay() * 1e6);
         }
         t.row(vec![
-            label.into(),
+            (*label).into(),
             f3(mean(&ipc)),
             f3(mean(&tw)),
             f3(mean(&te)),
@@ -421,12 +517,13 @@ pub fn machine_ablation(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::simulate;
     use bw_workload::benchmark;
 
     #[test]
     fn jrs_gates_a_non_hybrid_predictor() {
         let models = [benchmark("twolf").unwrap()];
-        let rows = jrs_gating_study(&models, &SimConfig::quick(8), |_| {});
+        let rows = jrs_gating_study(&Runner::serial(), &models, &SimConfig::quick(8), |_| {});
         let gshare_both: Vec<_> = rows
             .iter()
             .filter(|r| r.predictor == NamedPredictor::Gshare32k12 && r.estimator == "both-strong")

@@ -3,7 +3,8 @@
 use bw_workload::BenchmarkModel;
 
 use crate::report::{f4, mean, Table};
-use crate::sim::{simulate, RunResult, SimConfig};
+use crate::runner::{RunPlan, Runner};
+use crate::sim::{RunResult, SimConfig};
 use crate::zoo::NamedPredictor;
 
 /// One gating measurement: a hybrid predictor, a threshold (or the
@@ -18,15 +19,18 @@ pub struct GatingRow {
     pub run: RunResult,
 }
 
-/// Runs the gating study: `hybrid_0` (tiny, poor) and `hybrid_3`
+/// Plans the gating study — `hybrid_0` (tiny, poor) and `hybrid_3`
 /// (large) with "both strong" confidence estimation, at thresholds
-/// N ∈ {0, 1, 2} plus the ungated baseline.
-pub fn gating_study(
+/// N ∈ {0, 1, 2} plus the ungated baseline — and executes it on
+/// `runner`.
+pub fn gating_rows(
+    runner: &Runner,
     models: &[&'static BenchmarkModel],
     cfg: &SimConfig,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> Vec<GatingRow> {
-    let mut rows = Vec::new();
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::new();
     for predictor in [NamedPredictor::Hybrid0, NamedPredictor::Hybrid3] {
         for threshold in [None, Some(0u32), Some(1), Some(2)] {
             let mut c = cfg.clone();
@@ -34,21 +38,37 @@ pub fn gating_study(
                 c.uarch = c.uarch.with_gating(n);
             }
             for m in models {
-                progress(&format!(
+                let label = format!(
                     "gating {} N={:?} / {}",
                     predictor.label(),
                     threshold,
                     m.name
-                ));
-                rows.push(GatingRow {
+                );
+                keys.push((
                     predictor,
                     threshold,
-                    run: simulate(m, predictor.config(), &c),
-                });
+                    plan.add_labeled(m, predictor.config(), &c, label),
+                ));
             }
         }
     }
-    rows
+    let mut set = runner.run(&plan, progress);
+    keys.into_iter()
+        .map(|(predictor, threshold, key)| GatingRow {
+            predictor,
+            threshold,
+            run: set.remove(&key).expect("planned run present"),
+        })
+        .collect()
+}
+
+/// Serial convenience form of [`gating_rows`].
+pub fn gating_study(
+    models: &[&'static BenchmarkModel],
+    cfg: &SimConfig,
+    progress: impl FnMut(&str) + Send,
+) -> Vec<GatingRow> {
+    gating_rows(&Runner::serial(), models, cfg, progress)
 }
 
 fn norm_metric(

@@ -16,8 +16,15 @@
 //! | Figures 16–17 (PPD savings) | [`ppd::ppd_study`] + renderers |
 //! | Figure 19 (pipeline gating) | [`gating::gating_study`] + renderer |
 //!
-//! Each runner returns typed rows plus a rendered text table whose
+//! Each experiment returns typed rows plus a rendered text table whose
 //! rows/series match what the paper reports.
+//!
+//! Every simulating experiment is a thin view over the unified engine
+//! in [`crate::runner`]: it declares the runs it needs in a
+//! [`RunPlan`](crate::RunPlan), hands the plan to a
+//! [`Runner`](crate::Runner) (worker pool + optional persistent
+//! cache), and renders the keyed results. The `*_study`/`base_sweep`
+//! names are serial conveniences over the same views.
 
 pub mod arrays_study;
 pub mod base;
@@ -29,12 +36,12 @@ pub mod tables;
 pub use arrays_study::{fig03_squarification, fig11_banked_timing, table3};
 pub use base::{
     base_sweep, fig02_model_comparison, fig05_accuracy_ipc, fig06_energy, fig07_power,
-    fig12_13_banking, SweepRow,
+    fig12_13_banking, sweep_rows, SweepRow,
 };
 pub use ext::{
     banking_ablation, btb_study, jrs_gating_render, jrs_gating_study, machine_ablation,
     nextline_study, ppd_proportionality_study, spec_history_study, JrsGatingRow,
 };
-pub use gating::{fig19_render, gating_study, GatingRow};
-pub use ppd::{fig16_fig17_render, ppd_study, PpdRow};
+pub use gating::{fig19_render, gating_rows, gating_study, GatingRow};
+pub use ppd::{fig16_fig17_render, ppd_rows, ppd_study, PpdRow};
 pub use tables::{fig14_distances, table1, table2};

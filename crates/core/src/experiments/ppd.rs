@@ -4,7 +4,8 @@ use bw_power::{BpredOptions, PpdScenario};
 use bw_workload::BenchmarkModel;
 
 use crate::report::{pct, Table};
-use crate::sim::{simulate, RunResult, SimConfig};
+use crate::runner::{RunPlan, Runner};
+use crate::sim::{RunResult, SimConfig};
 use crate::zoo::NamedPredictor;
 
 /// One benchmark's PPD measurement.
@@ -45,25 +46,44 @@ impl PpdRow {
     }
 }
 
-/// Runs the PPD study: the paper's 32K-entry GAs predictor
+/// Plans the PPD study — the paper's 32K-entry GAs predictor
 /// (`GAs_1_32k_8`) over the Section-4 benchmark subset, on a machine
-/// with a PPD.
-pub fn ppd_study(
+/// with a PPD — and executes it on `runner`.
+pub fn ppd_rows(
+    runner: &Runner,
     models: &[&'static BenchmarkModel],
     cfg: &SimConfig,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> Vec<PpdRow> {
     let mut ppd_cfg = cfg.clone();
     ppd_cfg.uarch = ppd_cfg.uarch.with_ppd(PpdScenario::One);
-    models
+    let mut plan = RunPlan::new();
+    let keys: Vec<_> = models
         .iter()
         .map(|m| {
-            progress(&format!("PPD / {}", m.name));
-            PpdRow {
-                run: simulate(m, NamedPredictor::GAs32k8.config(), &ppd_cfg),
-            }
+            plan.add_labeled(
+                m,
+                NamedPredictor::GAs32k8.config(),
+                &ppd_cfg,
+                format!("PPD / {}", m.name),
+            )
+        })
+        .collect();
+    let mut set = runner.run(&plan, progress);
+    keys.into_iter()
+        .map(|key| PpdRow {
+            run: set.remove(&key).expect("planned run present"),
         })
         .collect()
+}
+
+/// Serial convenience form of [`ppd_rows`].
+pub fn ppd_study(
+    models: &[&'static BenchmarkModel],
+    cfg: &SimConfig,
+    progress: impl FnMut(&str) + Send,
+) -> Vec<PpdRow> {
+    ppd_rows(&Runner::serial(), models, cfg, progress)
 }
 
 /// Renders Figures 16 and 17: per-benchmark percentage reductions in

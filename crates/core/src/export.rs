@@ -126,11 +126,12 @@ mod tests {
             run: simulate(
                 benchmark("gzip").unwrap(),
                 NamedPredictor::Bim128.config(),
-                &SimConfig {
-                    warmup_insts: 50_000,
-                    measure_insts: 20_000,
-                    ..SimConfig::quick(1)
-                },
+                &SimConfig::builder()
+                    .warmup_insts(50_000)
+                    .measure_insts(20_000)
+                    .seed(1)
+                    .build()
+                    .unwrap(),
             ),
         }]
     }

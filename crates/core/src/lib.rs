@@ -10,8 +10,13 @@
 //!   simulation of a benchmark model under a predictor configuration,
 //!   producing a [`RunResult`] with performance statistics, per-unit
 //!   energy, and re-priceable predictor activity totals.
+//! * [`RunPlan`] / [`Runner`] / [`RunCache`] — the unified experiment
+//!   engine: figures declare the runs they need in a deduplicated
+//!   plan; the runner executes it on a worker pool, serving repeats
+//!   from a persistent content-addressed cache (`serde` feature).
 //! * [`experiments`] — one module per table/figure of the paper's
-//!   evaluation, each returning typed rows and a rendered text table.
+//!   evaluation, each a thin view that plans its runs, asks a
+//!   [`Runner`] for results, and renders typed rows into text tables.
 //!
 //! # Examples
 //!
@@ -35,10 +40,12 @@
 pub mod experiments;
 pub mod export;
 pub mod report;
+pub mod runner;
 mod sim;
 pub mod zoo;
 
-pub use sim::{bpred_share, simulate, RunResult, SimConfig};
+pub use runner::{RunCache, RunKey, RunPlan, RunSet, Runner};
+pub use sim::{bpred_share, simulate, ConfigError, RunResult, SimConfig, SimConfigBuilder};
 
 // Re-export the substrate crates so downstream users (and the root
 // facade) can reach everything through one dependency.

@@ -1,0 +1,541 @@
+//! The unified experiment engine: every figure and study in
+//! [`crate::experiments`] routes its simulations through this module
+//! instead of calling [`simulate`] directly.
+//!
+//! The pieces:
+//!
+//! * [`RunKey`] — the identity of one simulation: benchmark name,
+//!   predictor configuration, and a content digest of the full
+//!   [`SimConfig`]. Two requests with equal keys are the same run.
+//! * [`RunPlan`] — the deduplicated set of runs a group of figures
+//!   needs. Figures 5–7, for example, all view the same base sweep;
+//!   planning them together executes each simulation once.
+//! * [`Runner`] — executes a plan on a scoped worker pool (sized to
+//!   the machine, or explicitly via [`Runner::with_jobs`]), consulting
+//!   an optional [`RunCache`] first. Simulations are deterministic and
+//!   independent, so parallel execution is observationally identical
+//!   to serial execution.
+//! * [`RunCache`] — a persistent content-addressed store of completed
+//!   [`RunResult`]s under `results/cache/`, keyed by the run's digest.
+//!   Requires the `serde` feature; without it the cache type still
+//!   exists but loads nothing and stores nothing.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use bw_core::{RunPlan, Runner, SimConfig};
+//! use bw_core::zoo::NamedPredictor;
+//! use bw_workload::benchmark;
+//!
+//! let cfg = SimConfig::quick(1);
+//! let mut plan = RunPlan::new();
+//! let key = plan.add(
+//!     benchmark("gzip").unwrap(),
+//!     NamedPredictor::Gshare16k12.config(),
+//!     &cfg,
+//! );
+//! let mut set = Runner::parallel().run(&plan, |_| {});
+//! let run = set.remove(&key).unwrap();
+//! println!("IPC {:.2}", run.ipc());
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bw_predictors::PredictorConfig;
+use bw_workload::BenchmarkModel;
+
+use crate::sim::{fnv1a, simulate, RunResult, SimConfig};
+
+/// Version stamp embedded in every cache file; bump on any change to
+/// the serialized layout to orphan stale entries.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// The identity of one simulation run.
+///
+/// Keys are small (`Copy`) and hashable; the [`SimConfig`] itself is
+/// folded in as a content digest, so *any* configuration change —
+/// budgets, seed, machine options, technology — produces a distinct
+/// key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    benchmark: &'static str,
+    predictor: PredictorConfig,
+    cfg_digest: u64,
+}
+
+impl RunKey {
+    /// Builds the key for `model` × `predictor` × `cfg`.
+    #[must_use]
+    pub fn new(
+        model: &'static BenchmarkModel,
+        predictor: PredictorConfig,
+        cfg: &SimConfig,
+    ) -> Self {
+        RunKey {
+            benchmark: model.name,
+            predictor,
+            cfg_digest: cfg.digest(),
+        }
+    }
+
+    /// The benchmark name.
+    #[must_use]
+    pub fn benchmark(&self) -> &'static str {
+        self.benchmark
+    }
+
+    /// The predictor configuration.
+    #[must_use]
+    pub fn predictor(&self) -> PredictorConfig {
+        self.predictor
+    }
+
+    /// The [`SimConfig::digest`] this key was built with.
+    #[must_use]
+    pub fn cfg_digest(&self) -> u64 {
+        self.cfg_digest
+    }
+
+    /// A stable digest of the whole key, used as the cache file stem.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fnv1a(
+            format!(
+                "{}|{:?}|{:016x}",
+                self.benchmark, self.predictor, self.cfg_digest
+            )
+            .as_bytes(),
+        )
+    }
+}
+
+struct PlanEntry {
+    key: RunKey,
+    model: &'static BenchmarkModel,
+    cfg: SimConfig,
+    label: String,
+}
+
+/// The deduplicated, ordered set of simulations a group of figures
+/// needs.
+///
+/// [`RunPlan::add`] returns the entry's [`RunKey`]; adding the same
+/// run twice is free and returns the same key, which is how several
+/// figures share one sweep.
+#[derive(Default)]
+pub struct RunPlan {
+    entries: Vec<PlanEntry>,
+    seen: HashSet<RunKey>,
+}
+
+impl RunPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        RunPlan::default()
+    }
+
+    /// Requests one simulation, with a default progress label.
+    pub fn add(
+        &mut self,
+        model: &'static BenchmarkModel,
+        predictor: PredictorConfig,
+        cfg: &SimConfig,
+    ) -> RunKey {
+        let label = format!("{:?} / {}", predictor, model.name);
+        self.add_labeled(model, predictor, cfg, label)
+    }
+
+    /// Requests one simulation with an explicit progress label (shown
+    /// by the [`Runner`]'s progress callback while the run executes).
+    pub fn add_labeled(
+        &mut self,
+        model: &'static BenchmarkModel,
+        predictor: PredictorConfig,
+        cfg: &SimConfig,
+        label: impl Into<String>,
+    ) -> RunKey {
+        let key = RunKey::new(model, predictor, cfg);
+        if self.seen.insert(key) {
+            self.entries.push(PlanEntry {
+                key,
+                model,
+                cfg: cfg.clone(),
+                label: label.into(),
+            });
+        }
+        key
+    }
+
+    /// Number of distinct runs planned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The results of an executed [`RunPlan`], keyed by [`RunKey`].
+pub struct RunSet {
+    results: HashMap<RunKey, RunResult>,
+    executed: usize,
+    cache_hits: usize,
+}
+
+impl RunSet {
+    /// Borrows the result for `key`, if the plan contained it.
+    #[must_use]
+    pub fn get(&self, key: &RunKey) -> Option<&RunResult> {
+        self.results.get(key)
+    }
+
+    /// Removes and returns the result for `key` (each planned key is
+    /// present exactly once).
+    pub fn remove(&mut self, key: &RunKey) -> Option<RunResult> {
+        self.results.remove(key)
+    }
+
+    /// Number of results held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// How many runs were actually simulated (cache misses).
+    #[must_use]
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+
+    /// How many runs were served from the [`RunCache`].
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+}
+
+/// Executes [`RunPlan`]s: cache lookups first, then the misses on a
+/// scoped worker pool.
+///
+/// Runs are deterministic functions of their [`RunKey`] inputs and
+/// share no state, so the returned [`RunSet`] is identical whatever
+/// the job count — parallelism changes wall-clock time only.
+pub struct Runner {
+    jobs: usize,
+    cache: Option<RunCache>,
+}
+
+impl Runner {
+    /// A single-threaded runner with no cache — the drop-in equivalent
+    /// of calling [`simulate`] in a loop.
+    #[must_use]
+    pub fn serial() -> Self {
+        Runner {
+            jobs: 1,
+            cache: None,
+        }
+    }
+
+    /// A runner sized to the machine's available cores, no cache.
+    #[must_use]
+    pub fn parallel() -> Self {
+        let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Runner { jobs, cache: None }
+    }
+
+    /// A runner with an explicit worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
+        Runner {
+            jobs: jobs.max(1),
+            cache: None,
+        }
+    }
+
+    /// Attaches a persistent result cache.
+    #[must_use]
+    pub fn cached(mut self, cache: RunCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The worker count this runner uses.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes every run in `plan`, returning the keyed results.
+    ///
+    /// `progress` receives each entry's label as it starts (from
+    /// worker threads when running parallel, hence `Send`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (a simulation bug).
+    pub fn run(&self, plan: &RunPlan, mut progress: impl FnMut(&str) + Send) -> RunSet {
+        let mut results = HashMap::with_capacity(plan.entries.len());
+        let mut misses: Vec<&PlanEntry> = Vec::new();
+        for e in &plan.entries {
+            match self.cache.as_ref().and_then(|c| c.load(&e.key)) {
+                Some(r) => {
+                    results.insert(e.key, r);
+                }
+                None => misses.push(e),
+            }
+        }
+        let cache_hits = results.len();
+        let executed = misses.len();
+
+        if self.jobs <= 1 || misses.len() <= 1 {
+            for e in &misses {
+                progress(&e.label);
+                let r = simulate(e.model, e.key.predictor, &e.cfg);
+                if let Some(c) = &self.cache {
+                    c.store(&e.key, &r);
+                }
+                results.insert(e.key, r);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let done: Mutex<Vec<(RunKey, RunResult)>> = Mutex::new(Vec::with_capacity(executed));
+            let progress: Mutex<&mut (dyn FnMut(&str) + Send)> = Mutex::new(&mut progress);
+            std::thread::scope(|s| {
+                for _ in 0..self.jobs.min(misses.len()) {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(e) = misses.get(i) else { break };
+                        (progress.lock().expect("progress lock"))(&e.label);
+                        let r = simulate(e.model, e.key.predictor, &e.cfg);
+                        if let Some(c) = &self.cache {
+                            c.store(&e.key, &r);
+                        }
+                        done.lock().expect("result lock").push((e.key, r));
+                    });
+                }
+            });
+            results.extend(done.into_inner().expect("result lock"));
+        }
+
+        RunSet {
+            results,
+            executed,
+            cache_hits,
+        }
+    }
+}
+
+impl Default for Runner {
+    /// [`Runner::parallel`].
+    fn default() -> Self {
+        Runner::parallel()
+    }
+}
+
+/// A persistent content-addressed store of completed runs.
+///
+/// One JSON file per [`RunKey`] under the cache directory, named
+/// `<benchmark>-<key digest>.json`. Files carry a format version and
+/// the key's identity fields; a file that fails any check (or fails to
+/// parse) is treated as a miss and overwritten on the next store.
+///
+/// Serialization is deterministic — same key, byte-identical file —
+/// so concurrent writers racing on one key are harmless.
+///
+/// With the `serde` feature disabled the cache is inert: [`load`]
+/// always misses and [`store`] does nothing.
+///
+/// [`load`]: RunCache::load
+/// [`store`]: RunCache::store
+#[derive(Clone, Debug)]
+pub struct RunCache {
+    dir: PathBuf,
+}
+
+impl RunCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        RunCache { dir: dir.into() }
+    }
+
+    /// The conventional cache location, `results/cache/` under the
+    /// current directory.
+    #[must_use]
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results").join("cache")
+    }
+
+    /// A cache at [`RunCache::default_dir`].
+    #[must_use]
+    pub fn at_default() -> Self {
+        RunCache::new(Self::default_dir())
+    }
+
+    /// The cache's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key's result lives at.
+    #[must_use]
+    pub fn path_for(&self, key: &RunKey) -> PathBuf {
+        self.dir
+            .join(format!("{}-{:016x}.json", key.benchmark(), key.digest()))
+    }
+
+    /// Loads a cached result, or `None` on miss / mismatch / parse
+    /// failure.
+    #[must_use]
+    #[cfg(feature = "serde")]
+    pub fn load(&self, key: &RunKey) -> Option<RunResult> {
+        use serde::{Deserialize, Value};
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let v = serde_json::parse_value_str(&text).ok()?;
+        if u32::from_value(v.get("format_version")?).ok()? != CACHE_FORMAT_VERSION {
+            return None;
+        }
+        if v.get("benchmark")? != &Value::Str(key.benchmark().to_string()) {
+            return None;
+        }
+        if v.get("predictor")? != &Value::Str(format!("{:?}", key.predictor())) {
+            return None;
+        }
+        if v.get("cfg_digest")? != &Value::Str(format!("{:016x}", key.cfg_digest())) {
+            return None;
+        }
+        RunResult::from_value(v.get("result")?).ok()
+    }
+
+    /// Stores a result. Failures (e.g. an unwritable directory) are
+    /// swallowed: the cache is an accelerator, not a ledger.
+    #[cfg(feature = "serde")]
+    pub fn store(&self, key: &RunKey, result: &RunResult) {
+        use serde::{Serialize, Value};
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let v = Value::Obj(vec![
+            ("format_version".into(), CACHE_FORMAT_VERSION.to_value()),
+            ("benchmark".into(), Value::Str(key.benchmark().to_string())),
+            (
+                "predictor".into(),
+                Value::Str(format!("{:?}", key.predictor())),
+            ),
+            (
+                "cfg_digest".into(),
+                Value::Str(format!("{:016x}", key.cfg_digest())),
+            ),
+            ("result".into(), result.to_value()),
+        ]);
+        if let Ok(text) = serde_json::to_string_pretty(&v) {
+            let _ = std::fs::write(self.path_for(key), text);
+        }
+    }
+
+    /// Loads a cached result — inert without the `serde` feature.
+    #[must_use]
+    #[cfg(not(feature = "serde"))]
+    pub fn load(&self, _key: &RunKey) -> Option<RunResult> {
+        None
+    }
+
+    /// Stores a result — inert without the `serde` feature.
+    #[cfg(not(feature = "serde"))]
+    pub fn store(&self, _key: &RunKey, _result: &RunResult) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::NamedPredictor;
+    use bw_workload::benchmark;
+
+    fn small_plan(cfg: &SimConfig) -> (RunPlan, Vec<RunKey>) {
+        let mut plan = RunPlan::new();
+        let mut keys = Vec::new();
+        for p in [NamedPredictor::Bim128, NamedPredictor::Gshare16k12] {
+            for m in ["gzip", "vortex"] {
+                keys.push(plan.add(benchmark(m).unwrap(), p.config(), cfg));
+            }
+        }
+        (plan, keys)
+    }
+
+    #[test]
+    fn plan_deduplicates_identical_requests() {
+        let cfg = SimConfig::quick(1);
+        let mut plan = RunPlan::new();
+        let m = benchmark("gzip").unwrap();
+        let a = plan.add(m, NamedPredictor::Bim4k.config(), &cfg);
+        let b = plan.add(m, NamedPredictor::Bim4k.config(), &cfg);
+        assert_eq!(a, b);
+        assert_eq!(plan.len(), 1);
+        // A different budget is a different run.
+        let c = plan.add(m, NamedPredictor::Bim4k.config(), &SimConfig::quick(2));
+        assert_ne!(a, c);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn key_digest_tracks_every_config_field() {
+        let m = benchmark("gzip").unwrap();
+        let p = NamedPredictor::Bim4k.config();
+        let base = RunKey::new(m, p, &SimConfig::quick(1));
+        let mut longer = SimConfig::quick(1);
+        longer.measure_insts += 1;
+        assert_ne!(base, RunKey::new(m, p, &longer));
+        assert_ne!(base.digest(), RunKey::new(m, p, &longer).digest());
+        let mut banked = SimConfig::quick(1);
+        banked.banked = true;
+        assert_ne!(base, RunKey::new(m, p, &banked));
+    }
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let cfg = SimConfig::quick(3);
+        let (plan_a, keys) = small_plan(&cfg);
+        let (plan_b, _) = small_plan(&cfg);
+        let mut serial = Runner::serial().run(&plan_a, |_| {});
+        let mut par = Runner::with_jobs(4).run(&plan_b, |_| {});
+        assert_eq!(serial.executed(), keys.len());
+        assert_eq!(par.executed(), keys.len());
+        for k in &keys {
+            let a = serial.remove(k).unwrap();
+            let b = par.remove(k).unwrap();
+            assert_eq!(a.stats, b.stats, "{k:?}");
+            assert!((a.total_energy_j() - b.total_energy_j()).abs() < 1e-18);
+            assert_eq!(a.predictor, b.predictor);
+        }
+    }
+
+    #[test]
+    fn progress_labels_are_reported() {
+        let cfg = SimConfig::quick(4);
+        let mut plan = RunPlan::new();
+        plan.add_labeled(
+            benchmark("gzip").unwrap(),
+            NamedPredictor::Bim128.config(),
+            &cfg,
+            "custom label",
+        );
+        let labels = Mutex::new(Vec::new());
+        Runner::serial().run(&plan, |l| labels.lock().unwrap().push(l.to_string()));
+        assert_eq!(labels.into_inner().unwrap(), vec!["custom label"]);
+    }
+}

@@ -56,6 +56,206 @@ impl SimConfig {
             ..Self::paper(seed)
         }
     }
+
+    /// Starts a validating builder, seeded with the paper-scale
+    /// defaults.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bw_core::SimConfig;
+    ///
+    /// let cfg = SimConfig::builder()
+    ///     .warmup_insts(500_000)
+    ///     .measure_insts(200_000)
+    ///     .seed(7)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.measure_insts, 200_000);
+    /// ```
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::paper(0xb4a2),
+        }
+    }
+
+    /// A stable content digest of the whole configuration (FNV-1a over
+    /// the `Debug` rendering, which covers every field).
+    ///
+    /// Two configurations with the same digest request the same
+    /// simulation; the digest is part of a [`RunKey`](crate::RunKey)
+    /// and of the persistent cache's file identity, so any field
+    /// change invalidates cached results.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fnv1a(format!("{self:?}").as_bytes())
+    }
+}
+
+/// FNV-1a, the repo's stable non-cryptographic content hash.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A validation failure from [`SimConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `warmup_insts` was zero (predictors/caches would be cold).
+    ZeroWarmup,
+    /// `measure_insts` was zero (nothing to measure).
+    ZeroMeasure,
+    /// BTB geometry is incoherent: entries must be a nonzero multiple
+    /// of the associativity.
+    BadBtbGeometry,
+    /// The load/store queue cannot be larger than the register update
+    /// unit it occupies.
+    LsqLargerThanRuu,
+    /// A PPD was requested on a machine with no BTB to probe (the
+    /// next-line-predictor front end).
+    PpdWithoutBtb,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWarmup => write!(f, "warmup_insts must be nonzero"),
+            ConfigError::ZeroMeasure => write!(f, "measure_insts must be nonzero"),
+            ConfigError::BadBtbGeometry => {
+                write!(f, "btb_entries must be a nonzero multiple of btb_assoc")
+            }
+            ConfigError::LsqLargerThanRuu => write!(f, "lsq_size must not exceed ruu_size"),
+            ConfigError::PpdWithoutBtb => {
+                write!(f, "a PPD needs a BTB front end, not a next-line predictor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`SimConfig`], started by
+/// [`SimConfig::builder`].
+///
+/// Every setter is infallible; [`SimConfigBuilder::build`] checks the
+/// combination: nonzero warmup/measure budgets, coherent BTB geometry,
+/// `lsq <= ruu`, and no PPD on a BTB-less front end.
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Replaces the machine configuration.
+    #[must_use]
+    pub fn uarch(mut self, uarch: UarchConfig) -> Self {
+        self.cfg.uarch = uarch;
+        self
+    }
+
+    /// Edits the machine configuration in place — convenient for the
+    /// `with_*` option chains.
+    ///
+    /// ```
+    /// use bw_core::SimConfig;
+    /// use bw_power::PpdScenario;
+    ///
+    /// let cfg = SimConfig::builder()
+    ///     .map_uarch(|u| u.with_ppd(PpdScenario::One))
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(cfg.uarch.ppd.is_some());
+    /// ```
+    #[must_use]
+    pub fn map_uarch(mut self, f: impl FnOnce(UarchConfig) -> UarchConfig) -> Self {
+        self.cfg.uarch = f(self.cfg.uarch);
+        self
+    }
+
+    /// Sets the array power-model kind (Figure 2's old/new switch).
+    #[must_use]
+    pub fn model_kind(mut self, kind: ModelKind) -> Self {
+        self.cfg.kind = kind;
+        self
+    }
+
+    /// Banks the direction predictor per Table 3.
+    #[must_use]
+    pub fn banked(mut self, banked: bool) -> Self {
+        self.cfg.banked = banked;
+        self
+    }
+
+    /// Sets the technology parameters.
+    #[must_use]
+    pub fn tech(mut self, tech: TechParams) -> Self {
+        self.cfg.tech = tech;
+        self
+    }
+
+    /// Sets the warmup budget, in instructions.
+    #[must_use]
+    pub fn warmup_insts(mut self, n: u64) -> Self {
+        self.cfg.warmup_insts = n;
+        self
+    }
+
+    /// Sets the measured budget, in instructions.
+    #[must_use]
+    pub fn measure_insts(mut self, n: u64) -> Self {
+        self.cfg.measure_insts = n;
+        self
+    }
+
+    /// Sets the workload seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Applies the reduced test-scale instruction budget (the
+    /// [`SimConfig::quick`] preset).
+    #[must_use]
+    pub fn quick_budget(mut self) -> Self {
+        self.cfg.warmup_insts = 300_000;
+        self.cfg.measure_insts = 100_000;
+        self
+    }
+
+    /// Validates the combination and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the combination violates.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        let c = &self.cfg;
+        if c.warmup_insts == 0 {
+            return Err(ConfigError::ZeroWarmup);
+        }
+        if c.measure_insts == 0 {
+            return Err(ConfigError::ZeroMeasure);
+        }
+        let u = &c.uarch;
+        if u.btb_entries == 0
+            || u.btb_assoc == 0
+            || !u.btb_entries.is_multiple_of(u64::from(u.btb_assoc))
+        {
+            return Err(ConfigError::BadBtbGeometry);
+        }
+        if u.lsq_size > u.ruu_size {
+            return Err(ConfigError::LsqLargerThanRuu);
+        }
+        if u.ppd.is_some() && u.target_predictor != bw_uarch::TargetPredictor::Btb {
+            return Err(ConfigError::PpdWithoutBtb);
+        }
+        Ok(self.cfg)
+    }
 }
 
 impl Default for SimConfig {
@@ -243,6 +443,62 @@ pub fn bpred_share(run: &RunResult) -> f64 {
     run.bpred_energy_j() / run.total_energy_j()
 }
 
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! Hand-written (de)serialization for [`RunResult`].
+    //!
+    //! Two fields need care: `benchmark` is a `&'static str` that must
+    //! resolve back through the workload registry, and [`BpredPower`]
+    //! is a derived model — only its inputs (storages, tech, options)
+    //! are stored, and the model is rebuilt on load. `BpredPower::new`
+    //! is deterministic, so a rebuilt model re-prices identically.
+
+    use super::RunResult;
+    use bw_power::{BpredOptions, BpredPower};
+    use bw_predictors::Storage;
+    use serde::{obj_get, Deserialize, Error, Serialize, Value};
+
+    impl Serialize for RunResult {
+        fn to_value(&self) -> Value {
+            Value::Obj(vec![
+                ("benchmark".into(), Value::Str(self.benchmark.to_string())),
+                ("predictor".into(), Value::Str(self.predictor.clone())),
+                ("stats".into(), self.stats.to_value()),
+                ("energy".into(), self.energy.to_value()),
+                ("totals".into(), self.totals.to_value()),
+                (
+                    "bpred_power".into(),
+                    Value::Obj(vec![
+                        ("storages".into(), self.bpred_power.storages().to_value()),
+                        ("tech".into(), self.bpred_power.tech().to_value()),
+                        ("options".into(), self.bpred_power.options().to_value()),
+                    ]),
+                ),
+            ])
+        }
+    }
+
+    impl Deserialize for RunResult {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            let name = String::from_value(obj_get(v, "benchmark")?)?;
+            let model = bw_workload::benchmark(&name)
+                .ok_or_else(|| Error::msg(format!("unknown benchmark `{name}`")))?;
+            let power = obj_get(v, "bpred_power")?;
+            let storages = Vec::<Storage>::from_value(obj_get(power, "storages")?)?;
+            let tech = Deserialize::from_value(obj_get(power, "tech")?)?;
+            let options = BpredOptions::from_value(obj_get(power, "options")?)?;
+            Ok(RunResult {
+                benchmark: model.name,
+                predictor: String::from_value(obj_get(v, "predictor")?)?,
+                stats: Deserialize::from_value(obj_get(v, "stats")?)?,
+                energy: Deserialize::from_value(obj_get(v, "energy")?)?,
+                totals: Deserialize::from_value(obj_get(v, "totals")?)?,
+                bpred_power: BpredPower::new(&storages, &tech, options),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +610,61 @@ mod tests {
         let r = quick_run(NamedPredictor::Hybrid1);
         let sum: f64 = Unit::ALL.iter().map(|u| r.energy.unit_energy_j(*u)).sum();
         assert!((sum - r.total_energy_j()).abs() < 1e-12 * sum);
+    }
+
+    #[test]
+    fn builder_defaults_are_the_paper_preset() {
+        let built = SimConfig::builder().build().unwrap();
+        let preset = SimConfig::paper(0xb4a2);
+        assert_eq!(built.digest(), preset.digest());
+    }
+
+    #[test]
+    fn builder_rejects_bad_combinations() {
+        assert_eq!(
+            SimConfig::builder().warmup_insts(0).build().unwrap_err(),
+            ConfigError::ZeroWarmup
+        );
+        assert_eq!(
+            SimConfig::builder().measure_insts(0).build().unwrap_err(),
+            ConfigError::ZeroMeasure
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .map_uarch(|mut u| {
+                    u.btb_entries = 101; // not a multiple of the 2-way assoc
+                    u
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::BadBtbGeometry
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .map_uarch(|mut u| {
+                    u.lsq_size = u.ruu_size + 1;
+                    u
+                })
+                .build()
+                .unwrap_err(),
+            ConfigError::LsqLargerThanRuu
+        );
+        assert_eq!(
+            SimConfig::builder()
+                .map_uarch(|u| { u.with_next_line_predictor().with_ppd(PpdScenario::One) })
+                .build()
+                .unwrap_err(),
+            ConfigError::PpdWithoutBtb
+        );
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let a = SimConfig::quick(3);
+        assert_eq!(a.digest(), SimConfig::quick(3).digest());
+        assert_ne!(a.digest(), SimConfig::quick(4).digest());
+        let mut banked = SimConfig::quick(3);
+        banked.banked = true;
+        assert_ne!(a.digest(), banked.digest());
     }
 }

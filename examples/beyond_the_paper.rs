@@ -20,11 +20,12 @@ fn main() {
         eprintln!("unknown benchmark '{bench_name}'");
         std::process::exit(1);
     });
-    let cfg = SimConfig {
-        warmup_insts: 2_000_000,
-        measure_insts: 400_000,
-        ..SimConfig::paper(3)
-    };
+    let cfg = SimConfig::builder()
+        .warmup_insts(2_000_000)
+        .measure_insts(400_000)
+        .seed(3)
+        .build()
+        .expect("valid config");
 
     // 1. Alloyed history: one table, both kinds of history. Compare at
     //    roughly 64-Kbit state against the paper's 64-Kbit entries

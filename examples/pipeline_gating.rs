@@ -19,11 +19,12 @@ fn main() {
         std::process::exit(1);
     });
 
-    let base = SimConfig {
-        warmup_insts: 2_000_000,
-        measure_insts: 500_000,
-        ..SimConfig::paper(9)
-    };
+    let base = SimConfig::builder()
+        .warmup_insts(2_000_000)
+        .measure_insts(500_000)
+        .seed(9)
+        .build()
+        .expect("valid config");
     println!(
         "Pipeline gating on {} with \"both strong\" confidence estimation\n",
         model.name

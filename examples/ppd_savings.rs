@@ -20,13 +20,15 @@ fn main() {
 
     // A machine with a PPD: the run records, per fetch cycle, whether
     // the current I-cache line's pre-decode bits allowed the direction
-    // predictor and/or BTB lookup to be suppressed.
-    let mut cfg = SimConfig {
-        warmup_insts: 2_000_000,
-        measure_insts: 500_000,
-        ..SimConfig::paper(5)
-    };
-    cfg.uarch = cfg.uarch.with_ppd(PpdScenario::One);
+    // predictor and/or BTB lookup to be suppressed. The builder
+    // validates that the front end actually has a BTB to gate.
+    let cfg = SimConfig::builder()
+        .warmup_insts(2_000_000)
+        .measure_insts(500_000)
+        .seed(5)
+        .map_uarch(|u| u.with_ppd(PpdScenario::One))
+        .build()
+        .expect("valid config");
 
     println!(
         "PPD study: {} with {} (the paper's Section 4.2 setup)\n",

@@ -19,11 +19,12 @@ fn main() {
         std::process::exit(1);
     });
 
-    let cfg = SimConfig {
-        warmup_insts: 2_000_000,
-        measure_insts: 500_000,
-        ..SimConfig::paper(7)
-    };
+    let cfg = SimConfig::builder()
+        .warmup_insts(2_000_000)
+        .measure_insts(500_000)
+        .seed(7)
+        .build()
+        .expect("valid config");
     println!(
         "Tournament on {} (2M warmup + 500K measured per entry)\n",
         model.name

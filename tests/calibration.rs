@@ -85,8 +85,11 @@ fn table2_accuracy_calibration() {
         // Sparse-branch benchmarks (mgrid/applu-class, <1% conditional
         // frequency) see too few branches at the debug budget to train
         // a history predictor; give them extra slack there.
-        let sparse_slack =
-            if cfg!(debug_assertions) && m.cond_freq < 0.01 { 0.08 } else { 0.0 };
+        let sparse_slack = if cfg!(debug_assertions) && m.cond_freq < 0.01 {
+            0.08
+        } else {
+            0.0
+        };
         if (bimod - bt).abs() > tol + sparse_slack {
             failures.push(format!("{}: bimod {:.4} vs {:.4}", m.name, bimod, bt));
         }

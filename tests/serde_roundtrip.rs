@@ -63,3 +63,32 @@ fn stats_and_totals_roundtrip() {
     let back: BpredTotals = serde_json::from_str(&serde_json::to_string(&totals).unwrap()).unwrap();
     assert_eq!(back, totals);
 }
+
+#[test]
+fn run_result_roundtrips() {
+    use branchwatt::workload::benchmark;
+    use branchwatt::zoo::NamedPredictor;
+    use branchwatt::{simulate, RunResult, SimConfig};
+
+    let cfg = SimConfig::builder()
+        .warmup_insts(60_000)
+        .measure_insts(20_000)
+        .seed(2)
+        .build()
+        .unwrap();
+    let r = simulate(
+        benchmark("gzip").unwrap(),
+        NamedPredictor::Gshare16k12.config(),
+        &cfg,
+    );
+    let j = serde_json::to_string_pretty(&r).unwrap();
+    let back: RunResult = serde_json::from_str(&j).unwrap();
+    assert_eq!(back.stats, r.stats);
+    assert_eq!(back.predictor, r.predictor);
+    assert_eq!(back.benchmark, r.benchmark);
+    assert!((back.total_energy_j() - r.total_energy_j()).abs() < 1e-15);
+    assert!((back.bpred_energy_j() - r.bpred_energy_j()).abs() < 1e-15);
+    // Deterministic serialization: serializing the deserialized result
+    // reproduces the exact bytes (the cache's race-safety property).
+    assert_eq!(serde_json::to_string_pretty(&back).unwrap(), j);
+}

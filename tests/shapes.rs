@@ -10,19 +10,20 @@ use branchwatt::zoo::NamedPredictor;
 use branchwatt::{simulate, RunResult, SimConfig};
 
 fn cfg() -> SimConfig {
-    SimConfig {
-        warmup_insts: if cfg!(debug_assertions) {
+    SimConfig::builder()
+        .warmup_insts(if cfg!(debug_assertions) {
             300_000
         } else {
             1_500_000
-        },
-        measure_insts: if cfg!(debug_assertions) {
+        })
+        .measure_insts(if cfg!(debug_assertions) {
             100_000
         } else {
             400_000
-        },
-        ..SimConfig::paper(11)
-    }
+        })
+        .seed(11)
+        .build()
+        .expect("valid config")
 }
 
 fn run(bench: &str, p: NamedPredictor) -> RunResult {

@@ -1,0 +1,355 @@
+//! Offline, API-compatible subset of `serde_json`: JSON text rendering
+//! and parsing over the vendored `serde` shim's `Value` data model.
+//!
+//! Output is deterministic — object keys keep the order the
+//! `Serialize` impl produced — which the workspace's run cache relies
+//! on for byte-identical cache files.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+/// Serializes `x` to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's data model; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: Serialize>(x: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &x.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `x` to human-readable, two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the shim's data model.
+pub fn to_string_pretty<T: Serialize>(x: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &x.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value_str(s)?;
+    T::from_value(&v)
+}
+
+/// Parses JSON text into a raw [`Value`].
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or trailing garbage.
+pub fn parse_value_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+// ---- rendering ----
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Display for f64 is shortest-roundtrip; force a
+                // decimal point so the value parses back as F64.
+                let s = x.to_string();
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            if !pairs.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parsing ----
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::msg("unexpected end of input")),
+        Some(b'n') => expect_lit(b, pos, "null", Value::Null),
+        Some(b't') => expect_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => expect_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => return Err(Error::msg(format!("expected , or ] got {other:?}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error::msg(format!("expected : at byte {pos}", pos = *pos)));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    other => return Err(Error::msg(format!("expected , or }} got {other:?}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error::msg(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::msg(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::msg("bad \\u escape"))?;
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| Error::msg("bad \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => return Err(Error::msg(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar.
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                let ch = s.chars().next().ok_or_else(|| Error::msg("empty"))?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err(Error::msg("unterminated string"))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error::msg("bad number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::msg(format!("expected number at byte {start}")));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+    } else if text.starts_with('-') {
+        text.parse::<i64>()
+            .map(Value::I64)
+            .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+    } else {
+        text.parse::<u64>()
+            .map(Value::U64)
+            .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrips_through_text() {
+        let v = Value::Obj(vec![
+            ("name".into(), Value::Str("say \"hi\"\n".into())),
+            ("count".into(), Value::U64(u64::MAX)),
+            ("delta".into(), Value::I64(-42)),
+            ("x".into(), Value::F64(1.5e-9)),
+            ("whole".into(), Value::F64(2.0)),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            ("arr".into(), Value::Arr(vec![Value::U64(1), Value::U64(2)])),
+        ]);
+        let mut compact = String::new();
+        write_value(&mut compact, &v, None, 0);
+        assert_eq!(parse_value_str(&compact).unwrap(), v);
+        let mut pretty = String::new();
+        write_value(&mut pretty, &v, Some(2), 0);
+        assert_eq!(parse_value_str(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let v = Value::Arr(vec![Value::F64(0.1), Value::F64(1.0 / 3.0)]);
+        let mut a = String::new();
+        let mut b = String::new();
+        write_value(&mut a, &v, None, 0);
+        write_value(&mut b, &v, None, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value_str("{").is_err());
+        assert!(parse_value_str("nul").is_err());
+        assert!(parse_value_str("1 2").is_err());
+        assert!(parse_value_str("\"unterminated").is_err());
+    }
+}
