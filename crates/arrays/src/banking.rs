@@ -147,7 +147,8 @@ impl BankedArrayModel {
         e
     }
 
-    /// Energy of one write/update access (one bank + overhead).
+    /// Energy of one write/update access in joules (one bank +
+    /// overhead).
     #[must_use]
     pub fn energy_per_write(&self) -> f64 {
         self.bank_model.energy_per_write() + self.overhead_energy

@@ -71,15 +71,17 @@ impl EnergyBreakdown {
         self.pre_mux() + self.post_mux()
     }
 
-    /// Energy spent before the column multiplexor: decoders, wordline,
-    /// bitlines. A PPD Scenario-2 gated access still spends this.
+    /// Energy in joules spent before the column multiplexor: decoders,
+    /// wordline, bitlines. A PPD Scenario-2 gated access still spends
+    /// this.
     #[must_use]
     pub fn pre_mux(&self) -> f64 {
         self.row_decoder + self.column_decoder + self.wordline + self.bitline
     }
 
-    /// Energy spent at/after the column multiplexor: sense amps, output
-    /// drivers, tag comparators. This is what PPD Scenario 2 saves.
+    /// Energy in joules spent at/after the column multiplexor: sense
+    /// amps, output drivers, tag comparators. This is what PPD
+    /// Scenario 2 saves.
     #[must_use]
     pub fn post_mux(&self) -> f64 {
         self.senseamp + self.output + self.tag_compare

@@ -142,8 +142,8 @@ pub struct ArrayOrg {
 }
 
 impl ArrayOrg {
-    /// Squareness metric: |log2(rows) − log2(cols)| — zero for a
-    /// perfectly square array.
+    /// Squareness metric (dimensionless): |log2(rows) − log2(cols)| —
+    /// zero for a perfectly square array.
     #[must_use]
     pub fn aspect_imbalance(&self) -> f64 {
         ((self.rows as f64).log2() - (self.cols as f64).log2()).abs()

@@ -12,6 +12,10 @@
 //! * `--cache-dir DIR` — run-cache location (default `results/cache`).
 //! * `--no-cache` — simulate everything, ignore and don't write the
 //!   cache.
+//! * `--audit` — run every simulation under the runtime sanitizer
+//!   (invariant checks per cycle/commit/recovery; implies no cache)
+//!   and exit nonzero on any violation. Results are identical to an
+//!   unaudited run — the sanitizer is observation-only.
 //!
 //! Run them as `cargo run --release -p bw-bench --bin fig05 -- [flags]`.
 //!
@@ -20,6 +24,9 @@
 //! [`RunCache`]), the stderr progress line, and CSV output. A sweep
 //! binary is one [`sweep_figure_main`] call; a study binary is one
 //! [`study_main`] call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -43,6 +50,8 @@ pub struct Cli {
     pub no_cache: bool,
     /// Cache directory override (`--cache-dir DIR`).
     pub cache_dir: Option<PathBuf>,
+    /// Run under the runtime sanitizer (`--audit`).
+    pub audit: bool,
 }
 
 impl Cli {
@@ -62,6 +71,7 @@ impl Cli {
             jobs: None,
             no_cache: false,
             cache_dir: None,
+            audit: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -95,6 +105,7 @@ impl Cli {
                     cli.jobs = Some(parse_num(&args, i, "--jobs") as usize);
                 }
                 "--no-cache" => cli.no_cache = true,
+                "--audit" => cli.audit = true,
                 "--cache-dir" => {
                     i += 1;
                     cli.cache_dir = Some(PathBuf::from(parse_path(&args, i, "--cache-dir")));
@@ -115,6 +126,12 @@ impl Cli {
             Some(n) => Runner::with_jobs(n),
             None => Runner::parallel(),
         };
+        // `--audit` implies no cache: every run must actually execute
+        // under the sanitizer. The runner enforces this too; skipping
+        // the attach here just keeps the intent visible.
+        if self.audit {
+            return runner.audited();
+        }
         if self.no_cache {
             runner
         } else {
@@ -122,13 +139,32 @@ impl Cli {
             runner.cached(RunCache::new(dir))
         }
     }
+
+    /// Reports the audit outcome after a run: prints a summary line
+    /// (and the first violations) to stderr, then exits nonzero if any
+    /// invariant failed. No-op when `--audit` was not passed.
+    pub fn finish_audit(&self, runner: &Runner) {
+        if !self.audit {
+            return;
+        }
+        let violations = runner.take_violations();
+        if violations.is_empty() {
+            eprintln!("  audit: clean (all invariants held)");
+            return;
+        }
+        for v in violations.iter().take(20) {
+            eprintln!("  audit: {v}");
+        }
+        eprintln!("  audit: {} invariant violation(s)", violations.len());
+        std::process::exit(1);
+    }
 }
 
 fn bad_flag(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: [--quick|--paper] [--warmup N] [--measure N] [--seed N] \
-         [--csv FILE] [--jobs N] [--no-cache] [--cache-dir DIR]"
+         [--csv FILE] [--jobs N] [--no-cache] [--cache-dir DIR] [--audit]"
     );
     std::process::exit(2);
 }
@@ -193,6 +229,7 @@ pub fn sweep_figure_main(
     let runner = cli.runner();
     let rows = sweep_rows(&runner, suite, &cli.cfg, progress_line());
     progress_done();
+    cli.finish_audit(&runner);
     if let Some(path) = &cli.csv {
         write_csv(path, &csv(&rows));
     }
@@ -227,6 +264,7 @@ pub fn study_main(run: impl FnOnce(&Runner, &Cli, &mut (dyn FnMut(&str) + Send))
     let mut progress = progress_line();
     let out = run(&runner, &cli, &mut progress);
     progress_done();
+    cli.finish_audit(&runner);
     if let Some(path) = &cli.csv {
         if let Some(rows) = &out.csv {
             write_csv(path, rows);

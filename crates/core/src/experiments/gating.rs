@@ -85,7 +85,7 @@ fn norm_metric(
     };
     let base = mean(&pick(None));
     let gated = mean(&pick(Some(threshold)));
-    if base == 0.0 {
+    if base.abs() < f64::EPSILON {
         0.0
     } else {
         gated / base

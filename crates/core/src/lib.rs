@@ -45,7 +45,13 @@ mod sim;
 pub mod zoo;
 
 pub use runner::{RunCache, RunKey, RunPlan, RunSet, Runner};
+#[cfg(feature = "audit")]
+pub use sim::simulate_audited;
 pub use sim::{bpred_share, simulate, ConfigError, RunResult, SimConfig, SimConfigBuilder};
+
+/// A runtime-sanitizer violation (re-export; `audit` feature).
+#[cfg(feature = "audit")]
+pub use bw_uarch::audit::Violation;
 
 // Re-export the substrate crates so downstream users (and the root
 // facade) can reach everything through one dependency.

@@ -237,6 +237,10 @@ impl RunSet {
 pub struct Runner {
     jobs: usize,
     cache: Option<RunCache>,
+    /// Violations collected from audited simulations (audit feature;
+    /// `None` when auditing is off).
+    #[cfg(feature = "audit")]
+    audit_sink: Option<Mutex<Vec<crate::Violation>>>,
 }
 
 impl Runner {
@@ -247,6 +251,8 @@ impl Runner {
         Runner {
             jobs: 1,
             cache: None,
+            #[cfg(feature = "audit")]
+            audit_sink: None,
         }
     }
 
@@ -254,7 +260,12 @@ impl Runner {
     #[must_use]
     pub fn parallel() -> Self {
         let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Runner { jobs, cache: None }
+        Runner {
+            jobs,
+            cache: None,
+            #[cfg(feature = "audit")]
+            audit_sink: None,
+        }
     }
 
     /// A runner with an explicit worker count (clamped to ≥ 1).
@@ -263,6 +274,8 @@ impl Runner {
         Runner {
             jobs: jobs.max(1),
             cache: None,
+            #[cfg(feature = "audit")]
+            audit_sink: None,
         }
     }
 
@@ -271,6 +284,60 @@ impl Runner {
     pub fn cached(mut self, cache: RunCache) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Runs every simulation under the runtime sanitizer, collecting
+    /// invariant violations (retrieve them with
+    /// [`take_violations`](Runner::take_violations)).
+    ///
+    /// Audited runs always simulate: the persistent cache is neither
+    /// read nor written, since a cached result carries no audit
+    /// evidence. Results themselves are identical to unaudited runs —
+    /// the sanitizer is observation-only.
+    #[cfg(feature = "audit")]
+    #[must_use]
+    pub fn audited(mut self) -> Self {
+        self.audit_sink = Some(Mutex::new(Vec::new()));
+        self
+    }
+
+    /// `true` if this runner audits its simulations.
+    #[cfg(feature = "audit")]
+    #[must_use]
+    pub fn is_audited(&self) -> bool {
+        self.audit_sink.is_some()
+    }
+
+    /// Drains the violations collected so far across all audited runs.
+    #[cfg(feature = "audit")]
+    pub fn take_violations(&self) -> Vec<crate::Violation> {
+        self.audit_sink
+            .as_ref()
+            .map(|s| std::mem::take(&mut *s.lock().expect("audit sink lock")))
+            .unwrap_or_default()
+    }
+
+    /// The cache to consult for this run, `None` when auditing (every
+    /// audited run must actually execute).
+    fn effective_cache(&self) -> Option<&RunCache> {
+        #[cfg(feature = "audit")]
+        if self.audit_sink.is_some() {
+            return None;
+        }
+        self.cache.as_ref()
+    }
+
+    /// Executes one planned simulation, auditing if enabled.
+    fn execute(&self, e: &PlanEntry) -> RunResult {
+        #[cfg(feature = "audit")]
+        if let Some(sink) = &self.audit_sink {
+            let (r, violations) = crate::simulate_audited(e.model, e.key.predictor, &e.cfg);
+            if !violations.is_empty() {
+                sink.lock().expect("audit sink lock").extend(violations);
+            }
+            return r;
+        }
+        simulate(e.model, e.key.predictor, &e.cfg)
     }
 
     /// The worker count this runner uses.
@@ -291,7 +358,7 @@ impl Runner {
         let mut results = HashMap::with_capacity(plan.entries.len());
         let mut misses: Vec<&PlanEntry> = Vec::new();
         for e in &plan.entries {
-            match self.cache.as_ref().and_then(|c| c.load(&e.key)) {
+            match self.effective_cache().and_then(|c| c.load(&e.key)) {
                 Some(r) => {
                     results.insert(e.key, r);
                 }
@@ -304,8 +371,8 @@ impl Runner {
         if self.jobs <= 1 || misses.len() <= 1 {
             for e in &misses {
                 progress(&e.label);
-                let r = simulate(e.model, e.key.predictor, &e.cfg);
-                if let Some(c) = &self.cache {
+                let r = self.execute(e);
+                if let Some(c) = self.effective_cache() {
                     c.store(&e.key, &r);
                 }
                 results.insert(e.key, r);
@@ -320,8 +387,8 @@ impl Runner {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(e) = misses.get(i) else { break };
                         (progress.lock().expect("progress lock"))(&e.label);
-                        let r = simulate(e.model, e.key.predictor, &e.cfg);
-                        if let Some(c) = &self.cache {
+                        let r = self.execute(e);
+                        if let Some(c) = self.effective_cache() {
                             c.store(&e.key, &r);
                         }
                         done.lock().expect("result lock").push((e.key, r));

@@ -436,6 +436,38 @@ pub fn simulate(
     }
 }
 
+/// Like [`simulate`], but with the runtime sanitizer enabled: every
+/// cycle, commit, and misprediction recovery is checked against the
+/// audit invariants, and any violations are returned alongside the
+/// (otherwise identical) result.
+///
+/// The sanitizer is observation-only — the [`RunResult`] is
+/// byte-identical to what [`simulate`] produces for the same inputs.
+#[cfg(feature = "audit")]
+#[must_use]
+pub fn simulate_audited(
+    model: &'static BenchmarkModel,
+    predictor: PredictorConfig,
+    cfg: &SimConfig,
+) -> (RunResult, Vec<bw_uarch::audit::Violation>) {
+    let program = model.build_program(cfg.seed);
+    let mut machine = Machine::with_power(
+        &cfg.uarch, &program, model, cfg.seed, predictor, cfg.kind, cfg.banked, &cfg.tech,
+    );
+    machine.enable_audit(model.name);
+    machine.warmup(cfg.warmup_insts);
+    machine.run(cfg.measure_insts);
+    let result = RunResult {
+        benchmark: model.name,
+        predictor: predictor.build().describe(),
+        stats: *machine.stats(),
+        energy: machine.power_report(),
+        totals: machine.bpred_totals(),
+        bpred_power: machine.bpred_power().clone(),
+    };
+    (result, machine.take_audit_violations())
+}
+
 /// Sanity bound used in tests: the predictor's share of chip energy,
 /// which the paper puts at "10% or more" for large predictors.
 #[must_use]

@@ -39,6 +39,8 @@
 #![warn(missing_docs)]
 
 mod activity;
+#[cfg(feature = "audit")]
+pub mod audit;
 mod bpred;
 mod chip;
 mod totals;

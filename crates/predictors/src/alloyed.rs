@@ -179,6 +179,10 @@ impl DirectionPredictor for TwoLevelAlloyed {
     fn debug_ghr(&self) -> Option<u64> {
         Some(self.ghr)
     }
+
+    fn counters_in_range(&self) -> bool {
+        self.pht.iter().all(SatCounter::in_range)
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,10 @@ impl DirectionPredictor for Bimodal {
     fn describe(&self) -> String {
         format!("bimodal-{}", self.entries())
     }
+
+    fn counters_in_range(&self) -> bool {
+        self.pht.iter().all(SatCounter::in_range)
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,14 @@ impl SatCounter {
         self.value == 0 || self.value == self.max
     }
 
+    /// `true` if the counter value is within its representable range —
+    /// a sanitizer check (the `update` state machine preserves this by
+    /// construction; the audit feature re-verifies it at runtime).
+    #[must_use]
+    pub fn in_range(&self) -> bool {
+        self.value <= self.max
+    }
+
     /// Trains the counter toward `actual`.
     pub fn update(&mut self, actual: Outcome) {
         if actual.is_taken() {

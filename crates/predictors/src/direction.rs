@@ -139,6 +139,14 @@ pub trait DirectionPredictor {
         None
     }
 
+    /// `true` when every saturating counter the predictor owns is
+    /// within its representable range — the audit feature's
+    /// counter-range invariant. Predictors without counter tables
+    /// report `true`.
+    fn counters_in_range(&self) -> bool {
+        true
+    }
+
     /// Total state bits across all storages.
     fn total_bits(&self) -> u64 {
         self.storages().iter().map(|s| s.spec.total_bits()).sum()

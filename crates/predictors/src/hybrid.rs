@@ -329,6 +329,16 @@ impl DirectionPredictor for Hybrid {
     fn debug_ghr(&self) -> Option<u64> {
         Some(self.ghr)
     }
+
+    fn counters_in_range(&self) -> bool {
+        self.selector.iter().all(SatCounter::in_range)
+            && self.gpht.iter().all(SatCounter::in_range)
+            && self.bpht.iter().all(SatCounter::in_range)
+            && self
+                .local
+                .as_ref()
+                .is_none_or(|l| l.pht.iter().all(SatCounter::in_range))
+    }
 }
 
 #[cfg(test)]

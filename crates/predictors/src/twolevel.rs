@@ -169,6 +169,10 @@ impl DirectionPredictor for TwoLevelGlobal {
     fn debug_ghr(&self) -> Option<u64> {
         Some(self.ghr)
     }
+
+    fn counters_in_range(&self) -> bool {
+        self.pht.iter().all(SatCounter::in_range)
+    }
 }
 
 /// A local-history (PAs) two-level predictor: a BHT of per-branch
@@ -320,6 +324,10 @@ impl DirectionPredictor for TwoLevelLocal {
             self.hist_bits,
             self.pht.len()
         )
+    }
+
+    fn counters_in_range(&self) -> bool {
+        self.pht.iter().all(SatCounter::in_range)
     }
 }
 

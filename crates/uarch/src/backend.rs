@@ -114,6 +114,8 @@ impl Machine<'_> {
                     self.bact.btb_updates += 1;
                 }
             }
+            #[cfg(feature = "audit")]
+            self.audit_commit_check(entry.fi.seq, entry.fi.on_correct_path);
         }
     }
 
@@ -156,6 +158,8 @@ impl Machine<'_> {
                     self.fetch_pc = actual.next_pc;
                     self.on_correct_path = true;
                     self.fetch_stall_until = self.cycle + 1;
+                    #[cfg(feature = "audit")]
+                    self.audit_recovery_check();
                 }
             }
         }

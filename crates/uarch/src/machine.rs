@@ -70,6 +70,9 @@ pub struct Machine<'p> {
     pub(crate) fetched_now: u32,
     pub(crate) issued_now: u32,
     pub(crate) committed_now: u32,
+    // Runtime sanitizer (observation-only; None unless enabled).
+    #[cfg(feature = "audit")]
+    pub(crate) audit: Option<Box<crate::audit::AuditState>>,
 }
 
 impl<'p> Machine<'p> {
@@ -190,6 +193,8 @@ impl<'p> Machine<'p> {
             fetched_now: 0,
             issued_now: 0,
             committed_now: 0,
+            #[cfg(feature = "audit")]
+            audit: None,
         }
     }
 
@@ -342,6 +347,8 @@ impl<'p> Machine<'p> {
         self.fetched_now = 0;
         self.issued_now = 0;
         self.committed_now = 0;
+        #[cfg(feature = "audit")]
+        self.audit_begin_cycle();
 
         let dir_gated_before = self.stats.ppd_dir_gated;
         let btb_gated_before = self.stats.ppd_btb_gated;
@@ -366,6 +373,8 @@ impl<'p> Machine<'p> {
         let act = self.act;
         let bact = self.bact;
         self.power.tick(&act, &bact);
+        #[cfg(feature = "audit")]
+        self.audit_cycle_check();
     }
 
     pub(crate) fn gating_active(&self) -> bool {

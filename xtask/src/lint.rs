@@ -1,0 +1,876 @@
+//! The workspace lint pass: a small rule engine over line-based and
+//! light token scanning, enforcing repo invariants that `rustc` and
+//! `clippy` cannot see (builder discipline, unit documentation, the
+//! threading boundary, panic-free library code).
+//!
+//! Rules are named and individually suppressible: a trailing or
+//! immediately preceding comment `// lint: allow(<rule>)` silences one
+//! rule on one line. Vendored shims under `vendor/` are never linted.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding: a rule violated at a file/line.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule's name.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a source file participates in the workspace, which decides
+/// which rules apply to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of a library target: the strictest rule set.
+    Library,
+    /// A binary target (`src/bin/`, `xtask`): panics are acceptable.
+    Binary,
+    /// Integration tests, examples, benches, or `#[cfg(test)]`-only
+    /// module files.
+    Test,
+}
+
+/// A parsed source file ready for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Classification.
+    pub kind: FileKind,
+    /// Raw lines as read.
+    pub raw: Vec<String>,
+    /// Lines with comments removed and string-literal contents blanked,
+    /// so token scans cannot match inside prose.
+    pub code: Vec<String>,
+    /// Per-line flag: inside a `#[cfg(test)] mod` block.
+    pub in_tests: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Parses `content` as the file at `rel` (already classified).
+    pub fn from_source(rel: &str, kind: FileKind, content: &str) -> SourceFile {
+        let raw: Vec<String> = content.lines().map(str::to_string).collect();
+        let code = strip_comments_and_strings(&raw);
+        let in_tests = mark_test_regions(&raw, &code);
+        SourceFile {
+            rel: rel.to_string(),
+            kind,
+            raw,
+            code,
+            in_tests,
+        }
+    }
+
+    /// `true` if `rule` is suppressed on `line` (0-based) via a
+    /// `lint: allow(<rule>)` marker there or on the previous line.
+    pub fn suppressed(&self, line: usize, rule: &str) -> bool {
+        let marker = format!("lint: allow({rule})");
+        self.raw.get(line).is_some_and(|l| l.contains(&marker))
+            || (line > 0 && self.raw[line - 1].contains(&marker))
+    }
+
+    fn is_crate_root(&self) -> bool {
+        self.rel == "src/lib.rs"
+            || self.rel == "xtask/src/main.rs"
+            || (self.rel.starts_with("crates/") && self.rel.ends_with("/src/lib.rs"))
+    }
+
+    fn is_lib_crate_root(&self) -> bool {
+        self.rel == "src/lib.rs"
+            || (self.rel.starts_with("crates/") && self.rel.ends_with("/src/lib.rs"))
+    }
+}
+
+/// A named lint rule.
+pub struct Rule {
+    /// Stable name used in output and `lint: allow(...)` markers.
+    pub name: &'static str,
+    /// One-line description for `--list`.
+    pub summary: &'static str,
+    check: fn(&Rule, &SourceFile, &mut Vec<Violation>),
+}
+
+impl Rule {
+    fn push(&self, sf: &SourceFile, line0: usize, message: String, out: &mut Vec<Violation>) {
+        if !sf.suppressed(line0, self.name) {
+            out.push(Violation {
+                file: sf.rel.clone(),
+                line: line0 + 1,
+                rule: self.name,
+                message,
+            });
+        }
+    }
+}
+
+/// The full rule set, in reporting order.
+pub fn rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "raw-sim-config",
+            summary: "no raw `SimConfig { .. }` struct literals outside the builder's home \
+                      (crates/core/src/sim.rs); use SimConfig::builder()",
+            check: check_raw_sim_config,
+        },
+        Rule {
+            name: "unwrap",
+            summary: "no `.unwrap()` in library crates (bins/tests exempt); use `expect(\"why\")` \
+                      or a proper error path",
+            check: check_unwrap,
+        },
+        Rule {
+            name: "float-eq",
+            summary: "no `==`/`!=` against floating-point literals in library code; compare with \
+                      a tolerance",
+            check: check_float_eq,
+        },
+        Rule {
+            name: "thread-spawn",
+            summary: "no `std::thread::spawn`/`thread::scope` outside bw-core's runner module",
+            check: check_thread_spawn,
+        },
+        Rule {
+            name: "unit-suffix",
+            summary: "every `pub fn` returning f64 in bw-power/bw-arrays must carry a unit \
+                      suffix (_j/_pj/_w/_s/_mm2/...) or a doc comment naming the unit",
+            check: check_unit_suffix,
+        },
+        Rule {
+            name: "forbid-unsafe",
+            summary: "every workspace crate root must carry #![forbid(unsafe_code)]",
+            check: check_forbid_unsafe,
+        },
+        Rule {
+            name: "missing-docs-warn",
+            summary: "every library crate root must carry #![warn(missing_docs)]",
+            check: check_missing_docs_warn,
+        },
+    ]
+}
+
+/// Runs every rule over every lintable workspace file under `root`.
+///
+/// # Errors
+///
+/// Returns a message if the workspace cannot be walked or a file
+/// cannot be read.
+pub fn run(root: &Path) -> Result<(Vec<Violation>, usize), String> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tests", "examples", "xtask"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files).map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        }
+    }
+    files.sort();
+
+    let rule_set = rules();
+    let mut violations = Vec::new();
+    let mut linted = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(kind) = classify(&rel) else { continue };
+        let content = std::fs::read_to_string(path).map_err(|e| format!("reading {rel}: {e}"))?;
+        let sf = SourceFile::from_source(&rel, kind, &content);
+        for rule in &rule_set {
+            (rule.check)(rule, &sf, &mut violations);
+        }
+        linted += 1;
+    }
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok((violations, linted))
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" || name == "results" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Decides whether and how a workspace-relative path is linted.
+pub fn classify(rel: &str) -> Option<FileKind> {
+    if rel.starts_with("vendor/") || rel.contains("/target/") {
+        return None;
+    }
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    if rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.ends_with("/src/tests.rs")
+    {
+        return Some(FileKind::Test);
+    }
+    if rel.contains("/src/bin/") || rel.starts_with("xtask/") {
+        return Some(FileKind::Binary);
+    }
+    if rel.starts_with("crates/") || rel.starts_with("src/") {
+        return Some(FileKind::Library);
+    }
+    None
+}
+
+/// Blanks comments and string-literal contents so token scans only see
+/// code. Quotes are kept (so lines stay aligned); everything between
+/// them becomes spaces.
+fn strip_comments_and_strings(raw: &[String]) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        Block(u32),
+    }
+    let mut state = State::Code;
+    let mut out = Vec::with_capacity(raw.len());
+    for line in raw {
+        let chars: Vec<char> = line.chars().collect();
+        let mut buf = String::with_capacity(chars.len());
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                State::Block(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth > 1 {
+                            State::Block(depth - 1)
+                        } else {
+                            State::Code
+                        };
+                        buf.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        buf.push_str("  ");
+                        i += 2;
+                    } else {
+                        buf.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => match chars[i] {
+                    '/' if chars.get(i + 1) == Some(&'/') => {
+                        // Line comment: drop the rest of the line.
+                        break;
+                    }
+                    '/' if chars.get(i + 1) == Some(&'*') => {
+                        state = State::Block(1);
+                        buf.push_str("  ");
+                        i += 2;
+                    }
+                    '"' => {
+                        buf.push('"');
+                        i += 1;
+                        while i < chars.len() {
+                            if chars[i] == '\\' {
+                                buf.push_str("  ");
+                                i += 2;
+                            } else if chars[i] == '"' {
+                                buf.push('"');
+                                i += 1;
+                                break;
+                            } else {
+                                buf.push(' ');
+                                i += 1;
+                            }
+                        }
+                    }
+                    '\'' => {
+                        // Char literal or lifetime. A char literal closes
+                        // within a few characters; a lifetime has no
+                        // closing quote nearby.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            buf.push_str("' '");
+                            // 'x' escaped form: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            buf.push_str("' '");
+                            i += 3;
+                        } else {
+                            buf.push('\'');
+                            i += 1;
+                        }
+                    }
+                    c => {
+                        buf.push(c);
+                        i += 1;
+                    }
+                },
+            }
+        }
+        out.push(buf);
+    }
+    out
+}
+
+/// Marks the line span of every `#[cfg(test)] mod ... { }` block.
+fn mark_test_regions(raw: &[String], code: &[String]) -> Vec<bool> {
+    let n = raw.len();
+    let mut flags = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        if raw[i].trim_start().starts_with("#[cfg(test)]") {
+            // Skip further attributes to the item line.
+            let mut j = i + 1;
+            while j < n && raw[j].trim_start().starts_with("#[") {
+                j += 1;
+            }
+            let item = raw.get(j).map_or("", |l| l.trim_start());
+            if item.starts_with("mod ") || item.starts_with("pub mod ") {
+                let mut depth: i64 = 0;
+                let mut started = false;
+                let mut k = j;
+                while k < n {
+                    for ch in code[k].chars() {
+                        match ch {
+                            '{' => {
+                                depth += 1;
+                                started = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    flags[k] = true;
+                    if started && depth <= 0 {
+                        break;
+                    }
+                    // `mod tests;` (out-of-line) ends on its own line.
+                    if !started && code[k].contains(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+                for f in flags.iter_mut().take(j).skip(i) {
+                    *f = true;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+// ---------------------------------------------------------------------
+// Rule implementations
+// ---------------------------------------------------------------------
+
+fn check_raw_sim_config(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.rel == "crates/core/src/sim.rs" {
+        return; // the builder's home: constructors live here
+    }
+    for (idx, line) in sf.code.iter().enumerate() {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find("SimConfig") {
+            let at = from + pos;
+            from = at + "SimConfig".len();
+            // Must be the exact identifier, not SimConfigBuilder etc.
+            let after = line[from..].trim_start();
+            let before = &line[..at];
+            let prev_char = before.chars().next_back();
+            if prev_char.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue; // longer identifier (e.g. MySimConfig)
+            }
+            if !after.starts_with('{') {
+                continue;
+            }
+            // A qualifying path (`crate::SimConfig { .. }`) is still a
+            // raw literal: strip the path segments so the token before
+            // the whole path decides definition/return position.
+            let mut head = before;
+            while head.ends_with("::") {
+                head = head[..head.len() - 2]
+                    .trim_end_matches(|c: char| c.is_alphanumeric() || c == '_');
+            }
+            let prev_token = last_token(head);
+            if matches!(
+                prev_token.as_str(),
+                "struct" | "impl" | "enum" | "trait" | "for" | "dyn" | "->"
+            ) {
+                continue;
+            }
+            rule.push(
+                sf,
+                idx,
+                "raw `SimConfig { .. }` struct literal; construct through \
+                 `SimConfig::builder()` so validation cannot be bypassed"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+fn check_unwrap(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.kind != FileKind::Library {
+        return;
+    }
+    for (idx, line) in sf.code.iter().enumerate() {
+        if sf.in_tests[idx] {
+            continue;
+        }
+        if line.contains(".unwrap()") {
+            rule.push(
+                sf,
+                idx,
+                "`.unwrap()` in library code; use `expect(\"why\")`, a proper error \
+                 return, or mark provable infallibility with `// lint: allow(unwrap)`"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+fn check_float_eq(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.kind != FileKind::Library {
+        return;
+    }
+    for (idx, line) in sf.code.iter().enumerate() {
+        if sf.in_tests[idx] {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            let op = &line[i..i + 2];
+            if (op == "==" || op == "!=")
+                && bytes.get(i + 2) != Some(&b'=')
+                && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!'))
+            {
+                let lhs = last_token(&line[..i]);
+                let rhs = first_token(&line[i + 2..]);
+                if is_float_literal(&lhs) || is_float_literal(&rhs) {
+                    rule.push(
+                        sf,
+                        idx,
+                        format!(
+                            "floating-point `{op}` comparison against `{}`; compare with an \
+                             epsilon instead",
+                            if is_float_literal(&lhs) { lhs } else { rhs }
+                        ),
+                        out,
+                    );
+                }
+                i += 2;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+fn check_thread_spawn(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.rel == "crates/core/src/runner.rs" {
+        return; // the one sanctioned threading site
+    }
+    for (idx, line) in sf.code.iter().enumerate() {
+        if line.contains("thread::spawn") || line.contains("thread::scope") {
+            rule.push(
+                sf,
+                idx,
+                "thread creation outside bw-core's runner; route parallel work through \
+                 `bw_core::Runner` so job counts and determinism stay centralized"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+const UNIT_SUFFIXES: &[&str] = &[
+    "_j", "_pj", "_nj", "_fj", "_w", "_mw", "_watts", "_s", "_ns", "_ps", "_mm2", "_hz", "_ghz",
+    "_bits", "_64ths", "_v",
+];
+
+const UNIT_WORDS: &[&str] = &[
+    "joule",
+    "watt",
+    "second",
+    "volt",
+    "farad",
+    "hertz",
+    "ratio",
+    "fraction",
+    "dimensionless",
+    "normalized",
+    "mm²",
+    "mm^2",
+];
+
+fn check_unit_suffix(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.kind != FileKind::Library
+        || !(sf.rel.starts_with("crates/power/src/") || sf.rel.starts_with("crates/arrays/src/"))
+    {
+        return;
+    }
+    for (idx, line) in sf.code.iter().enumerate() {
+        if sf.in_tests[idx] {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with("pub fn ") {
+            continue;
+        }
+        // Join the signature until its body/terminator.
+        let mut sig = String::new();
+        for l in sf.code.iter().skip(idx).take(8) {
+            sig.push_str(l.trim());
+            sig.push(' ');
+            if l.contains('{') || l.contains(';') {
+                break;
+            }
+        }
+        let Some(arrow) = sig.find("->") else {
+            continue;
+        };
+        if !sig[arrow..]
+            .trim_start_matches("->")
+            .trim_start()
+            .starts_with("f64")
+        {
+            continue;
+        }
+        let name: String = trimmed["pub fn ".len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            continue;
+        }
+        // Accept a doc note naming the unit in the contiguous doc block
+        // directly above (attributes in between are fine).
+        let mut docs = String::new();
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            let t = sf.raw[j].trim_start();
+            if t.starts_with("///") {
+                docs.push_str(&t.to_lowercase());
+                docs.push(' ');
+            } else if t.starts_with("#[") || t.is_empty() {
+                continue;
+            } else {
+                break;
+            }
+        }
+        if UNIT_WORDS.iter().any(|w| docs.contains(w)) {
+            continue;
+        }
+        rule.push(
+            sf,
+            idx,
+            format!(
+                "`pub fn {name}` returns f64 without a unit suffix \
+                 ({}) or a doc comment naming the unit",
+                UNIT_SUFFIXES.join("/")
+            ),
+            out,
+        );
+    }
+}
+
+fn check_forbid_unsafe(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if !sf.is_crate_root() {
+        return;
+    }
+    if !sf.raw.iter().any(|l| l.contains("#![forbid(unsafe_code)]")) {
+        rule.push(
+            sf,
+            0,
+            "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+            out,
+        );
+    }
+}
+
+fn check_missing_docs_warn(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if !sf.is_lib_crate_root() {
+        return;
+    }
+    if !sf.raw.iter().any(|l| {
+        l.contains("#![warn(missing_docs)]")
+            || l.contains("#![deny(missing_docs)]")
+            || l.contains("#![forbid(missing_docs)]")
+    }) {
+        rule.push(
+            sf,
+            0,
+            "library crate root lacks `#![warn(missing_docs)]`".to_string(),
+            out,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------
+
+/// The last whitespace-delimited token before `s`'s end, trimmed of
+/// grouping punctuation.
+fn last_token(s: &str) -> String {
+    let t = s.trim_end();
+    if t.ends_with("->") {
+        return "->".to_string();
+    }
+    let start = t
+        .rfind(|c: char| c.is_whitespace() || matches!(c, '(' | ',' | '=' | '{' | '[' | '&'))
+        .map_or(0, |p| p + 1);
+    t[start..]
+        .trim_matches(|c: char| matches!(c, ')' | ']'))
+        .to_string()
+}
+
+/// The first whitespace-delimited token of `s`, trimmed of trailing
+/// punctuation.
+fn first_token(s: &str) -> String {
+    let t = s.trim_start();
+    let end = t
+        .find(|c: char| c.is_whitespace() || matches!(c, ')' | ',' | ';' | '{' | '}'))
+        .unwrap_or(t.len());
+    t[..end].to_string()
+}
+
+/// `true` for tokens that are floating-point literals (`0.0`, `1e-9`,
+/// `2.5f64`, ...).
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok
+        .trim_start_matches('-')
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_')
+        .replace('_', "");
+    let t = t.as_str();
+    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+        return false;
+    }
+    (t.contains('.') || t.contains('e') || t.contains('E')) && t.parse::<f64>().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(rel: &str, content: &str) -> Vec<Violation> {
+        let kind = classify(rel).expect("classifiable");
+        let sf = SourceFile::from_source(rel, kind, content);
+        let mut out = Vec::new();
+        for rule in rules() {
+            (rule.check)(&rule, &sf, &mut out);
+        }
+        out
+    }
+
+    fn names(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/core/src/sim.rs"), Some(FileKind::Library));
+        assert_eq!(
+            classify("crates/bench/src/bin/fig05.rs"),
+            Some(FileKind::Binary)
+        );
+        assert_eq!(classify("tests/shapes.rs"), Some(FileKind::Test));
+        assert_eq!(classify("crates/uarch/src/tests.rs"), Some(FileKind::Test));
+        assert_eq!(
+            classify("crates/bench/benches/machine.rs"),
+            Some(FileKind::Test)
+        );
+        assert_eq!(classify("xtask/src/main.rs"), Some(FileKind::Binary));
+        assert_eq!(classify("vendor/rand/src/lib.rs"), None);
+    }
+
+    #[test]
+    fn raw_sim_config_literal_is_flagged() {
+        let v = lint_one(
+            "crates/core/src/export.rs",
+            "fn f() { let c = SimConfig { seed: 1 }; }\n",
+        );
+        assert_eq!(names(&v), vec!["raw-sim-config"]);
+    }
+
+    #[test]
+    fn path_qualified_sim_config_literal_is_flagged() {
+        let v = lint_one(
+            "crates/core/src/export.rs",
+            "fn f() { let c = bw_core::sim::SimConfig { seed: 1 }; }\n",
+        );
+        assert_eq!(names(&v), vec!["raw-sim-config"]);
+    }
+
+    #[test]
+    fn sim_config_non_literals_pass() {
+        let src = "pub struct SimConfig {\n\
+                   impl SimConfig {\n\
+                   impl Default for SimConfig {\n\
+                   pub fn config_from_args() -> SimConfig {\n\
+                   pub fn make() -> crate::sim::SimConfig {\n\
+                   fn g(c: &SimConfig) {}\n\
+                   let b = SimConfigBuilder { cfg };\n";
+        let v = lint_one("crates/core/src/export.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn sim_config_literal_allowed_in_builder_home() {
+        let v = lint_one("crates/core/src/sim.rs", "let c = SimConfig { seed: 1 };\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_library_flagged_and_suppressible() {
+        let v = lint_one("crates/core/src/export.rs", "let x = y.unwrap();\n");
+        assert_eq!(names(&v), vec!["unwrap"]);
+        let v = lint_one(
+            "crates/core/src/export.rs",
+            "let x = y.unwrap(); // lint: allow(unwrap)\n",
+        );
+        assert!(v.is_empty());
+        let v = lint_one(
+            "crates/core/src/export.rs",
+            "// known nonempty; lint: allow(unwrap)\nlet x = y.unwrap();\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unwrap_exempt_in_bins_tests_and_test_mods() {
+        assert!(lint_one("crates/bench/src/bin/fig05.rs", "y.unwrap();\n").is_empty());
+        assert!(lint_one("tests/shapes.rs", "y.unwrap();\n").is_empty());
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\n";
+        assert!(lint_one("crates/core/src/export.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_comments_and_strings_ignored() {
+        let src = "// y.unwrap() is wrong\nlet s = \".unwrap()\";\n/// ex: y.unwrap()\n";
+        assert!(lint_one("crates/core/src/export.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged() {
+        let v = lint_one("crates/core/src/export.rs", "if x == 0.0 { }\n");
+        assert_eq!(names(&v), vec!["float-eq"]);
+        let v = lint_one("crates/core/src/export.rs", "if 1e-9 != tol { }\n");
+        assert_eq!(names(&v), vec!["float-eq"]);
+        assert!(lint_one("crates/core/src/export.rs", "if x == 0 { }\n").is_empty());
+        assert!(lint_one("crates/core/src/export.rs", "if x <= 0.5 { }\n").is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_runner() {
+        let v = lint_one("crates/core/src/export.rs", "std::thread::spawn(|| {});\n");
+        assert_eq!(names(&v), vec!["thread-spawn"]);
+        assert!(lint_one("crates/core/src/runner.rs", "std::thread::scope(|s| {});\n").is_empty());
+    }
+
+    #[test]
+    fn unit_suffix_rule() {
+        // Suffix form passes.
+        assert!(lint_one(
+            "crates/power/src/x.rs",
+            "pub fn lookup_energy_j(&self) -> f64 { 0.0 }\n"
+        )
+        .iter()
+        .all(|v| v.rule != "unit-suffix"));
+        // Doc note passes.
+        assert!(lint_one(
+            "crates/power/src/x.rs",
+            "/// Total energy in joules.\n#[must_use]\npub fn total(&self) -> f64 { self.e }\n"
+        )
+        .iter()
+        .all(|v| v.rule != "unit-suffix"));
+        // Neither fails.
+        let v = lint_one(
+            "crates/arrays/src/x.rs",
+            "/// Something vague.\npub fn total(&self) -> f64 { self.e }\n",
+        );
+        assert!(names(&v).contains(&"unit-suffix"), "{v:?}");
+        // Non-f64 and non-power/arrays files are exempt.
+        assert!(lint_one(
+            "crates/arrays/src/x.rs",
+            "pub fn rows(&self) -> u64 { 1 }\n"
+        )
+        .is_empty());
+        assert!(lint_one(
+            "crates/core/src/x.rs",
+            "pub fn total(&self) -> f64 { 0.1 }\n"
+        )
+        .iter()
+        .all(|v| v.rule != "unit-suffix"));
+    }
+
+    #[test]
+    fn crate_root_attribute_rules() {
+        let v = lint_one("crates/power/src/lib.rs", "//! A crate.\n");
+        assert!(names(&v).contains(&"forbid-unsafe"));
+        assert!(names(&v).contains(&"missing-docs-warn"));
+        let clean = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n";
+        assert!(lint_one("crates/power/src/lib.rs", clean).is_empty());
+        // Binary roots need forbid-unsafe but not missing-docs.
+        let v = lint_one("xtask/src/main.rs", "fn main() {}\n");
+        assert_eq!(names(&v), vec!["forbid-unsafe"]);
+    }
+
+    #[test]
+    fn test_region_detection_spans_braces() {
+        let src = "fn a() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn b() { if x { } }\n\
+                   }\n\
+                   fn c() { y.unwrap(); }\n";
+        let sf = SourceFile::from_source("crates/core/src/x.rs", FileKind::Library, src);
+        assert!(!sf.in_tests[0]);
+        assert!(sf.in_tests[1] && sf.in_tests[2] && sf.in_tests[3] && sf.in_tests[4]);
+        assert!(!sf.in_tests[5]);
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        for yes in ["0.0", "1.5", "1e-9", "2.5f64", "1_000.0", "-0.25"] {
+            assert!(is_float_literal(yes), "{yes}");
+        }
+        for no in ["0", "100", "x", "f64", "half()", "1.x"] {
+            assert!(!is_float_literal(no), "{no}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Workspace automation tasks.
+//!
+//! Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--list]
+//! ```
+//!
+//! runs the custom repo lint pass (see [`lint`]) over the workspace and
+//! exits nonzero if any rule is violated.
+
+#![forbid(unsafe_code)]
+
+mod lint;
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown task '{other}'");
+            usage();
+            2
+        }
+        None => {
+            usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() {
+    eprintln!("usage: cargo run -p xtask -- lint [--list]");
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the root is one level up from
+    // this crate's manifest.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir
+}
+
+fn cmd_lint(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--list") {
+        for rule in lint::rules() {
+            println!("{:18} {}", rule.name, rule.summary);
+        }
+        return 0;
+    }
+    if let Some(bad) = args.iter().find(|a| *a != "--list") {
+        eprintln!("unknown lint flag '{bad}'");
+        usage();
+        return 2;
+    }
+    let root = workspace_root();
+    match lint::run(&root) {
+        Ok((violations, linted)) => {
+            if violations.is_empty() {
+                println!("lint: {linted} files clean");
+                0
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!(
+                    "lint: {} violation(s) in {linted} files \
+                     (suppress one with `// lint: allow(<rule>)`)",
+                    violations.len()
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            2
+        }
+    }
+}
