@@ -8,6 +8,10 @@
 //! * `--warmup N` / `--measure N` — explicit budgets.
 //! * `--seed N` — workload seed.
 //! * `--csv FILE` — also write machine-readable rows.
+//! * `--trace FILE` — sweep binaries only: replay a recorded `.bwt`
+//!   trace (see the `trace` binary) instead of generating the
+//!   workload; the suite argument is ignored and the figure renders
+//!   the trace's workload.
 //! * `--jobs N` — worker threads (default: all available cores).
 //! * `--cache-dir DIR` — run-cache location (default `results/cache`).
 //! * `--no-cache` — simulate everything, ignore and don't write the
@@ -31,7 +35,8 @@
 use std::io::Write;
 use std::path::PathBuf;
 
-use bw_core::experiments::{sweep_rows, SweepRow};
+use bw_core::experiments::{sweep_rows, trace_sweep_rows, SweepRow};
+use bw_core::trace::Trace;
 use bw_core::{RunCache, Runner, SimConfig};
 use bw_workload::BenchmarkModel;
 
@@ -52,6 +57,9 @@ pub struct Cli {
     pub cache_dir: Option<PathBuf>,
     /// Run under the runtime sanitizer (`--audit`).
     pub audit: bool,
+    /// Replay this recorded `.bwt` trace instead of generating
+    /// workloads (`--trace FILE`; sweep binaries).
+    pub trace: Option<PathBuf>,
 }
 
 impl Cli {
@@ -72,6 +80,7 @@ impl Cli {
             no_cache: false,
             cache_dir: None,
             audit: false,
+            trace: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -103,6 +112,10 @@ impl Cli {
                 "--jobs" => {
                     i += 1;
                     cli.jobs = Some(parse_num(&args, i, "--jobs") as usize);
+                }
+                "--trace" => {
+                    i += 1;
+                    cli.trace = Some(PathBuf::from(parse_path(&args, i, "--trace")));
                 }
                 "--no-cache" => cli.no_cache = true,
                 "--audit" => cli.audit = true,
@@ -164,7 +177,8 @@ fn bad_flag(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
         "usage: [--quick|--paper] [--warmup N] [--measure N] [--seed N] \
-         [--csv FILE] [--jobs N] [--no-cache] [--cache-dir DIR] [--audit]"
+         [--csv FILE] [--jobs N] [--no-cache] [--cache-dir DIR] [--audit] \
+         [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -216,9 +230,21 @@ pub fn progress_done() {
     eprintln!("\r\x1b[2K  done");
 }
 
+/// Loads the `--trace` file, exiting with a diagnostic on failure.
+fn load_trace(path: &PathBuf) -> std::sync::Arc<Trace> {
+    match Trace::load(path) {
+        Ok(t) => std::sync::Arc::new(t),
+        Err(e) => {
+            eprintln!("cannot load trace {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The whole main function of a base-sweep figure binary: parse flags,
-/// run (or re-load) the sweep over `suite`, write `csv` rows if
-/// requested, and print `title` plus the rendered figure.
+/// run (or re-load) the sweep over `suite` — or replay a `--trace`
+/// recording in its place — write `csv` rows if requested, and print
+/// `title` plus the rendered figure.
 pub fn sweep_figure_main(
     title: &str,
     suite: &[&'static BenchmarkModel],
@@ -227,7 +253,22 @@ pub fn sweep_figure_main(
 ) {
     let cli = Cli::parse();
     let runner = cli.runner();
-    let rows = sweep_rows(&runner, suite, &cli.cfg, progress_line());
+    let rows = match &cli.trace {
+        Some(path) => {
+            let trace = load_trace(path);
+            match trace_sweep_rows(&runner, &trace, &cli.cfg, progress_line()) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    eprintln!(
+                        "
+{e}"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => sweep_rows(&runner, suite, &cli.cfg, progress_line()),
+    };
     progress_done();
     cli.finish_audit(&runner);
     if let Some(path) = &cli.csv {

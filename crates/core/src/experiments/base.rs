@@ -2,13 +2,16 @@
 //! derived comparisons: the old-vs-new array model (Figure 2) and
 //! banking savings (Figures 12–13).
 
+use std::sync::Arc;
+
 use bw_arrays::ModelKind;
 use bw_power::BpredOptions;
+use bw_trace::Trace;
 use bw_workload::BenchmarkModel;
 
 use crate::report::{f3, f4, mean, pct, Table};
 use crate::runner::{RunPlan, Runner};
-use crate::sim::{RunResult, SimConfig};
+use crate::sim::{RunResult, SimConfig, TraceRunError};
 use crate::zoo::NamedPredictor;
 
 /// One cell of the sweep: a predictor configuration on a benchmark.
@@ -49,6 +52,40 @@ pub fn sweep_rows(
         .collect()
 }
 
+/// Plans the paper's fourteen predictor configurations over one
+/// recorded trace (replay mode) and executes them on `runner`.
+///
+/// Rows carry the trace's workload name, so the figure renderers
+/// ([`fig05_accuracy_ipc`] etc.) produce the same table shape as a
+/// generated sweep — for a trace recorded from a benchmark model at
+/// the same config, the rows are byte-identical.
+///
+/// # Errors
+///
+/// [`TraceRunError::BudgetExceedsTrace`] if the recording is shorter
+/// than `cfg`'s warmup + measure budget.
+pub fn trace_sweep_rows(
+    runner: &Runner,
+    trace: &Arc<Trace>,
+    cfg: &SimConfig,
+    progress: impl FnMut(&str) + Send,
+) -> Result<Vec<SweepRow>, TraceRunError> {
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::with_capacity(NamedPredictor::FIGURE_ORDER.len());
+    for p in NamedPredictor::FIGURE_ORDER {
+        let label = format!("{} / {} (trace)", p.label(), trace.meta().name);
+        keys.push((p, plan.add_trace(trace, p.config(), cfg, label)?));
+    }
+    let mut set = runner.run(&plan, progress);
+    Ok(keys
+        .into_iter()
+        .map(|(predictor, key)| SweepRow {
+            predictor,
+            run: set.remove(&key).expect("planned run present"),
+        })
+        .collect())
+}
+
 /// Serial convenience form of [`sweep_rows`] — the paper's base sweep
 /// on a one-worker, uncached [`Runner`].
 pub fn base_sweep(
@@ -59,11 +96,11 @@ pub fn base_sweep(
     sweep_rows(&Runner::serial(), models, cfg, progress)
 }
 
-fn benchmarks_of(rows: &[SweepRow]) -> Vec<&'static str> {
+fn benchmarks_of(rows: &[SweepRow]) -> Vec<String> {
     let mut names = Vec::new();
     for r in rows {
         if !names.contains(&r.run.benchmark) {
-            names.push(r.run.benchmark);
+            names.push(r.run.benchmark.clone());
         }
     }
     names

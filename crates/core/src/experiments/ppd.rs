@@ -112,7 +112,7 @@ pub fn fig16_fig17_render(rows: &[PpdRow]) -> String {
     ]);
     for r in rows {
         bp.row(vec![
-            r.run.benchmark.into(),
+            r.run.benchmark.clone(),
             pct(r.bpred_reduction(false, PpdScenario::One)),
             pct(r.bpred_reduction(true, PpdScenario::One)),
             pct(r.bpred_reduction(true, PpdScenario::Two)),
@@ -120,7 +120,7 @@ pub fn fig16_fig17_render(rows: &[PpdRow]) -> String {
             pct(r.run.stats.ppd_btb_gate_rate()),
         ]);
         tot.row(vec![
-            r.run.benchmark.into(),
+            r.run.benchmark.clone(),
             pct(r.total_reduction(false, PpdScenario::One)),
             pct(r.total_reduction(true, PpdScenario::One)),
             pct(r.total_reduction(true, PpdScenario::Two)),

@@ -24,7 +24,7 @@ pub fn sweep_csv(rows: &[SweepRow]) -> String {
         out.push_str(&format!(
             "{},{},{},{:.6},{:.4},{:.4},{:.4},{:.6},{:.6},{:.6},{},{},{}\n",
             esc(r.predictor.label()),
-            esc(r.run.benchmark),
+            esc(&r.run.benchmark),
             r.predictor.total_bits() / 1024,
             r.run.accuracy(),
             r.run.ipc(),
@@ -52,7 +52,7 @@ pub fn ppd_csv(rows: &[PpdRow]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
-            esc(r.run.benchmark),
+            esc(&r.run.benchmark),
             r.run.stats.ppd_dir_gate_rate(),
             r.run.stats.ppd_btb_gate_rate(),
             r.bpred_reduction(false, PpdScenario::One),
@@ -78,7 +78,7 @@ pub fn gating_csv(rows: &[GatingRow]) -> String {
             esc(r.predictor.label()),
             r.threshold
                 .map_or_else(|| "none".to_string(), |n| n.to_string()),
-            esc(r.run.benchmark),
+            esc(&r.run.benchmark),
             r.run.accuracy(),
             r.run.ipc(),
             r.run.total_energy_j() * 1e3,
@@ -104,7 +104,7 @@ pub fn banking_csv(rows: &[SweepRow]) -> String {
         out.push_str(&format!(
             "{},{},{:.6},{:.6}\n",
             esc(r.predictor.label()),
-            esc(r.run.benchmark),
+            esc(&r.run.benchmark),
             1.0 - b / r.run.bpred_energy_j(),
             1.0 - t / r.run.total_energy_j(),
         ));

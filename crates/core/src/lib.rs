@@ -44,10 +44,13 @@ pub mod runner;
 mod sim;
 pub mod zoo;
 
-pub use runner::{RunCache, RunKey, RunPlan, RunSet, Runner};
+pub use runner::{RunCache, RunKey, RunPlan, RunSet, Runner, WorkloadId};
 #[cfg(feature = "audit")]
-pub use sim::simulate_audited;
-pub use sim::{bpred_share, simulate, ConfigError, RunResult, SimConfig, SimConfigBuilder};
+pub use sim::{audit_replay_roundtrip, simulate_audited, simulate_trace_audited};
+pub use sim::{
+    bpred_share, check_trace_budget, record_trace, simulate, simulate_trace, ConfigError,
+    RunResult, SimConfig, SimConfigBuilder, TraceRunError,
+};
 
 /// A runtime-sanitizer violation (re-export; `audit` feature).
 #[cfg(feature = "audit")]
@@ -58,6 +61,7 @@ pub use bw_uarch::audit::Violation;
 pub use bw_arrays as arrays;
 pub use bw_power as power;
 pub use bw_predictors as predictors;
+pub use bw_trace as trace;
 pub use bw_types as types;
 pub use bw_uarch as uarch;
 pub use bw_workload as workload;

@@ -42,12 +42,62 @@
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use bw_predictors::PredictorConfig;
+use bw_trace::Trace;
 use bw_workload::BenchmarkModel;
 
-use crate::sim::{fnv1a, simulate, RunResult, SimConfig};
+use crate::sim::{fnv1a, simulate, simulate_trace, RunResult, SimConfig, TraceRunError};
+
+/// An interned workload identifier: either a built-in benchmark name
+/// or a trace identity (`name@digest`).
+///
+/// Interning keeps [`RunKey`] `Copy` without leaking: non-builtin
+/// workloads (trace files) register their name once per process and
+/// every key referencing them shares the entry. The *digest* of a key
+/// uses the name string itself, so cache identities are stable across
+/// processes regardless of interning order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WorkloadId(u32);
+
+/// The interner's table: names by id, plus the reverse index.
+type InternTable = (Vec<Arc<str>>, HashMap<Arc<str>, u32>);
+
+fn interner() -> &'static Mutex<InternTable> {
+    static INTERNER: OnceLock<Mutex<InternTable>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new((Vec::new(), HashMap::new())))
+}
+
+impl WorkloadId {
+    /// Interns `name`, returning its id (existing entry if already
+    /// interned).
+    #[must_use]
+    pub fn intern(name: &str) -> Self {
+        let mut guard = interner().lock().expect("workload interner lock");
+        let (names, index) = &mut *guard;
+        if let Some(&i) = index.get(name) {
+            return WorkloadId(i);
+        }
+        let arc: Arc<str> = Arc::from(name);
+        let i = u32::try_from(names.len()).expect("fewer than 4G distinct workloads");
+        names.push(Arc::clone(&arc));
+        index.insert(arc, i);
+        WorkloadId(i)
+    }
+
+    /// The interned name.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: ids only come from [`WorkloadId::intern`] in
+    /// this process.
+    #[must_use]
+    pub fn name(&self) -> Arc<str> {
+        let guard = interner().lock().expect("workload interner lock");
+        Arc::clone(&guard.0[self.0 as usize])
+    }
+}
 
 /// Version stamp embedded in every cache file; bump on any change to
 /// the serialized layout to orphan stale entries.
@@ -61,7 +111,7 @@ pub const CACHE_FORMAT_VERSION: u32 = 1;
 /// key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RunKey {
-    benchmark: &'static str,
+    workload: WorkloadId,
     predictor: PredictorConfig,
     cfg_digest: u64,
 }
@@ -75,16 +125,29 @@ impl RunKey {
         cfg: &SimConfig,
     ) -> Self {
         RunKey {
-            benchmark: model.name,
+            workload: WorkloadId::intern(model.name),
             predictor,
             cfg_digest: cfg.digest(),
         }
     }
 
-    /// The benchmark name.
+    /// Builds the key for a trace-driven run. The workload identity is
+    /// `name@content-digest`, so editing or re-recording a trace file
+    /// invalidates cached results even under the same file name.
     #[must_use]
-    pub fn benchmark(&self) -> &'static str {
-        self.benchmark
+    pub fn for_trace(trace: &Trace, predictor: PredictorConfig, cfg: &SimConfig) -> Self {
+        let id = format!("{}@{:016x}", trace.meta().name, trace.digest());
+        RunKey {
+            workload: WorkloadId::intern(&id),
+            predictor,
+            cfg_digest: cfg.digest(),
+        }
+    }
+
+    /// The workload name (`name@digest` for trace-driven runs).
+    #[must_use]
+    pub fn benchmark(&self) -> Arc<str> {
+        self.workload.name()
     }
 
     /// The predictor configuration.
@@ -100,21 +163,34 @@ impl RunKey {
     }
 
     /// A stable digest of the whole key, used as the cache file stem.
+    /// Computed from the workload *name* (not its interning order), so
+    /// it is stable across processes.
     #[must_use]
     pub fn digest(&self) -> u64 {
         fnv1a(
             format!(
                 "{}|{:?}|{:016x}",
-                self.benchmark, self.predictor, self.cfg_digest
+                self.workload.name(),
+                self.predictor,
+                self.cfg_digest
             )
             .as_bytes(),
         )
     }
 }
 
+/// Where a planned run's instructions come from.
+enum PlanSource {
+    /// Generate mode: a built-in benchmark model.
+    Model(&'static BenchmarkModel),
+    /// Replay mode: a loaded trace (shared — several predictor
+    /// configurations typically replay the same recording).
+    Trace(Arc<Trace>),
+}
+
 struct PlanEntry {
     key: RunKey,
-    model: &'static BenchmarkModel,
+    source: PlanSource,
     cfg: SimConfig,
     label: String,
 }
@@ -162,12 +238,39 @@ impl RunPlan {
         if self.seen.insert(key) {
             self.entries.push(PlanEntry {
                 key,
-                model,
+                source: PlanSource::Model(model),
                 cfg: cfg.clone(),
                 label: label.into(),
             });
         }
         key
+    }
+
+    /// Requests one trace-driven simulation (replay mode).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceRunError::BudgetExceedsTrace`] if the recording is too
+    /// short for `cfg`'s warmup + measure budget — checked at plan
+    /// time so a short trace fails before any simulation starts.
+    pub fn add_trace(
+        &mut self,
+        trace: &Arc<Trace>,
+        predictor: PredictorConfig,
+        cfg: &SimConfig,
+        label: impl Into<String>,
+    ) -> Result<RunKey, TraceRunError> {
+        crate::sim::check_trace_budget(trace, cfg)?;
+        let key = RunKey::for_trace(trace, predictor, cfg);
+        if self.seen.insert(key) {
+            self.entries.push(PlanEntry {
+                key,
+                source: PlanSource::Trace(Arc::clone(trace)),
+                cfg: cfg.clone(),
+                label: label.into(),
+            });
+        }
+        Ok(key)
     }
 
     /// Number of distinct runs planned.
@@ -331,13 +434,23 @@ impl Runner {
     fn execute(&self, e: &PlanEntry) -> RunResult {
         #[cfg(feature = "audit")]
         if let Some(sink) = &self.audit_sink {
-            let (r, violations) = crate::simulate_audited(e.model, e.key.predictor, &e.cfg);
+            let (r, violations) = match &e.source {
+                PlanSource::Model(model) => crate::simulate_audited(model, e.key.predictor, &e.cfg),
+                PlanSource::Trace(trace) => {
+                    crate::simulate_trace_audited(trace, e.key.predictor, &e.cfg)
+                        .expect("trace budget was validated at plan time")
+                }
+            };
             if !violations.is_empty() {
                 sink.lock().expect("audit sink lock").extend(violations);
             }
             return r;
         }
-        simulate(e.model, e.key.predictor, &e.cfg)
+        match &e.source {
+            PlanSource::Model(model) => simulate(model, e.key.predictor, &e.cfg),
+            PlanSource::Trace(trace) => simulate_trace(trace, e.key.predictor, &e.cfg)
+                .expect("trace budget was validated at plan time"),
+        }
     }
 
     /// The worker count this runner uses.
@@ -459,11 +572,24 @@ impl RunCache {
         &self.dir
     }
 
-    /// The file a key's result lives at.
+    /// The file a key's result lives at. The workload name is
+    /// sanitized for the filesystem (trace ids carry `@` and arbitrary
+    /// user-supplied names); identity lives in the digest, the name is
+    /// only there for humans browsing the cache directory.
     #[must_use]
     pub fn path_for(&self, key: &RunKey) -> PathBuf {
-        self.dir
-            .join(format!("{}-{:016x}.json", key.benchmark(), key.digest()))
+        let name: String = key
+            .benchmark()
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '@') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!("{name}-{:016x}.json", key.digest()))
     }
 
     /// Loads a cached result, or `None` on miss / mismatch / parse

@@ -4,6 +4,7 @@
 use bw_arrays::{ModelKind, TechParams};
 use bw_power::{BpredOptions, BpredPower, BpredTotals, EnergyReport};
 use bw_predictors::PredictorConfig;
+use bw_trace::{Trace, TraceReader, REPLAY_SLACK_INSTS};
 use bw_uarch::{Machine, SimStats, UarchConfig};
 use bw_workload::BenchmarkModel;
 
@@ -273,8 +274,8 @@ impl Default for SimConfig {
 /// re-simulating (they do not change cycle-level behaviour).
 #[derive(Clone, Debug)]
 pub struct RunResult {
-    /// Benchmark name.
-    pub benchmark: &'static str,
+    /// Workload name (benchmark model or trace header name).
+    pub benchmark: String,
     /// Predictor description.
     pub predictor: String,
     /// Performance counters.
@@ -427,7 +428,7 @@ pub fn simulate(
     machine.warmup(cfg.warmup_insts);
     machine.run(cfg.measure_insts);
     RunResult {
-        benchmark: model.name,
+        benchmark: model.name.to_string(),
         predictor: predictor.build().describe(),
         stats: *machine.stats(),
         energy: machine.power_report(),
@@ -458,7 +459,7 @@ pub fn simulate_audited(
     machine.warmup(cfg.warmup_insts);
     machine.run(cfg.measure_insts);
     let result = RunResult {
-        benchmark: model.name,
+        benchmark: model.name.to_string(),
         predictor: predictor.build().describe(),
         stats: *machine.stats(),
         energy: machine.power_report(),
@@ -466,6 +467,177 @@ pub fn simulate_audited(
         bpred_power: machine.bpred_power().clone(),
     };
     (result, machine.take_audit_violations())
+}
+
+/// Why a trace-driven run could not start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceRunError {
+    /// The recording is shorter than the run's warmup + measure budget
+    /// (plus the in-flight slack the machine needs).
+    BudgetExceedsTrace {
+        /// Instructions the run needs from the oracle stream.
+        needed: u64,
+        /// Instructions the trace actually holds.
+        available: u64,
+    },
+}
+
+impl std::fmt::Display for TraceRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceRunError::BudgetExceedsTrace { needed, available } => write!(
+                f,
+                "trace holds {available} instructions but the run needs {needed} \
+                 (warmup + measure + {REPLAY_SLACK_INSTS} in-flight slack); \
+                 record a longer trace or shrink the budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceRunError {}
+
+/// Checks that `trace` is long enough for `cfg`'s instruction budget.
+///
+/// # Errors
+///
+/// [`TraceRunError::BudgetExceedsTrace`] when it is not.
+pub fn check_trace_budget(trace: &Trace, cfg: &SimConfig) -> Result<(), TraceRunError> {
+    let needed = cfg
+        .warmup_insts
+        .saturating_add(cfg.measure_insts)
+        .saturating_add(REPLAY_SLACK_INSTS);
+    let available = trace.meta().insts;
+    if needed > available {
+        return Err(TraceRunError::BudgetExceedsTrace { needed, available });
+    }
+    Ok(())
+}
+
+/// Runs one recorded trace under one predictor configuration
+/// (replay mode).
+///
+/// The machine is constructed exactly as [`simulate`] constructs it —
+/// same sizing, same power model — but its oracle instruction stream
+/// comes from the recording instead of a live workload thread, so
+/// replaying a trace recorded from a benchmark model yields
+/// byte-identical [`SimStats`] to generating that workload, while
+/// skipping all behaviour-automaton and hash-draw work.
+///
+/// `cfg.seed` does not influence replay (the stream is frozen in the
+/// trace), but it still participates in cache keying via the config
+/// digest.
+///
+/// # Errors
+///
+/// [`TraceRunError::BudgetExceedsTrace`] if the recording is shorter
+/// than warmup + measure (+ in-flight slack).
+pub fn simulate_trace(
+    trace: &Trace,
+    predictor: PredictorConfig,
+    cfg: &SimConfig,
+) -> Result<RunResult, TraceRunError> {
+    check_trace_budget(trace, cfg)?;
+    let reader = TraceReader::new(trace);
+    let mut machine = Machine::with_source(
+        &cfg.uarch,
+        trace.program(),
+        reader,
+        trace.meta().working_set,
+        predictor,
+        cfg.kind,
+        cfg.banked,
+        &cfg.tech,
+    );
+    machine.warmup(cfg.warmup_insts);
+    machine.run(cfg.measure_insts);
+    Ok(RunResult {
+        benchmark: trace.meta().name.clone(),
+        predictor: predictor.build().describe(),
+        stats: *machine.stats(),
+        energy: machine.power_report(),
+        totals: machine.bpred_totals(),
+        bpred_power: machine.bpred_power().clone(),
+    })
+}
+
+/// Like [`simulate_trace`], but with the runtime sanitizer enabled.
+///
+/// # Errors
+///
+/// Same as [`simulate_trace`].
+#[cfg(feature = "audit")]
+pub fn simulate_trace_audited(
+    trace: &Trace,
+    predictor: PredictorConfig,
+    cfg: &SimConfig,
+) -> Result<(RunResult, Vec<bw_uarch::audit::Violation>), TraceRunError> {
+    check_trace_budget(trace, cfg)?;
+    let reader = TraceReader::new(trace);
+    let mut machine = Machine::with_source(
+        &cfg.uarch,
+        trace.program(),
+        reader,
+        trace.meta().working_set,
+        predictor,
+        cfg.kind,
+        cfg.banked,
+        &cfg.tech,
+    );
+    machine.enable_audit(&trace.meta().name);
+    machine.warmup(cfg.warmup_insts);
+    machine.run(cfg.measure_insts);
+    let result = RunResult {
+        benchmark: trace.meta().name.clone(),
+        predictor: predictor.build().describe(),
+        stats: *machine.stats(),
+        energy: machine.power_report(),
+        totals: machine.bpred_totals(),
+        bpred_power: machine.bpred_power().clone(),
+    };
+    Ok((result, machine.take_audit_violations()))
+}
+
+/// Records `model` into a trace sized for `cfg`'s budget (warmup +
+/// measure + [`REPLAY_SLACK_INSTS`]), so the result always replays
+/// under that config.
+#[must_use]
+pub fn record_trace(model: &BenchmarkModel, cfg: &SimConfig) -> Trace {
+    let program = model.build_program(cfg.seed);
+    let insts = cfg.warmup_insts + cfg.measure_insts + REPLAY_SLACK_INSTS;
+    bw_trace::record_model(model, &program, cfg.seed, insts)
+}
+
+/// Audit invariant: replaying a just-recorded trace of `model` must
+/// yield [`SimStats`] byte-identical to generating the workload live.
+///
+/// Returns the replayed result plus a violation when the invariant
+/// fails (never expected; a divergence means the recorder, the replay
+/// call-stack mirror, or the codec lost information).
+#[cfg(feature = "audit")]
+#[must_use]
+pub fn audit_replay_roundtrip(
+    model: &'static BenchmarkModel,
+    predictor: PredictorConfig,
+    cfg: &SimConfig,
+) -> (RunResult, Vec<bw_uarch::audit::Violation>) {
+    let generated = simulate(model, predictor, cfg);
+    let trace = record_trace(model, cfg);
+    let replayed =
+        simulate_trace(&trace, predictor, cfg).expect("record_trace sized the trace for cfg");
+    let mut violations = Vec::new();
+    if generated.stats != replayed.stats {
+        violations.push(bw_uarch::audit::Violation {
+            invariant: "trace replay reproduces generated SimStats",
+            cycle: replayed.stats.cycles,
+            benchmark: model.name.to_string(),
+            detail: format!(
+                "generated {:?} vs replayed {:?}",
+                generated.stats, replayed.stats
+            ),
+        });
+    }
+    (replayed, violations)
 }
 
 /// Sanity bound used in tests: the predictor's share of chip energy,
@@ -479,11 +651,12 @@ pub fn bpred_share(run: &RunResult) -> f64 {
 mod serde_impls {
     //! Hand-written (de)serialization for [`RunResult`].
     //!
-    //! Two fields need care: `benchmark` is a `&'static str` that must
-    //! resolve back through the workload registry, and [`BpredPower`]
-    //! is a derived model — only its inputs (storages, tech, options)
-    //! are stored, and the model is rebuilt on load. `BpredPower::new`
-    //! is deterministic, so a rebuilt model re-prices identically.
+    //! One field needs care: [`BpredPower`] is a derived model — only
+    //! its inputs (storages, tech, options) are stored, and the model
+    //! is rebuilt on load. `BpredPower::new` is deterministic, so a
+    //! rebuilt model re-prices identically. The workload name is a
+    //! plain string: trace-driven runs carry names that are not in the
+    //! benchmark registry, so no registry lookup happens on load.
 
     use super::RunResult;
     use bw_power::{BpredOptions, BpredPower};
@@ -493,7 +666,7 @@ mod serde_impls {
     impl Serialize for RunResult {
         fn to_value(&self) -> Value {
             Value::Obj(vec![
-                ("benchmark".into(), Value::Str(self.benchmark.to_string())),
+                ("benchmark".into(), Value::Str(self.benchmark.clone())),
                 ("predictor".into(), Value::Str(self.predictor.clone())),
                 ("stats".into(), self.stats.to_value()),
                 ("energy".into(), self.energy.to_value()),
@@ -512,15 +685,12 @@ mod serde_impls {
 
     impl Deserialize for RunResult {
         fn from_value(v: &Value) -> Result<Self, Error> {
-            let name = String::from_value(obj_get(v, "benchmark")?)?;
-            let model = bw_workload::benchmark(&name)
-                .ok_or_else(|| Error::msg(format!("unknown benchmark `{name}`")))?;
             let power = obj_get(v, "bpred_power")?;
             let storages = Vec::<Storage>::from_value(obj_get(power, "storages")?)?;
             let tech = Deserialize::from_value(obj_get(power, "tech")?)?;
             let options = BpredOptions::from_value(obj_get(power, "options")?)?;
             Ok(RunResult {
-                benchmark: model.name,
+                benchmark: String::from_value(obj_get(v, "benchmark")?)?,
                 predictor: String::from_value(obj_get(v, "predictor")?)?,
                 stats: Deserialize::from_value(obj_get(v, "stats")?)?,
                 energy: Deserialize::from_value(obj_get(v, "energy")?)?,

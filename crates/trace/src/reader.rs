@@ -1,0 +1,149 @@
+//! Replay: stream a recorded trace back as an
+//! [`InstSource`](bw_workload::InstSource).
+
+use bw_types::{Addr, CtiKind, Outcome};
+use bw_workload::{ExecStep, InstSource, ResolvedCti, StaticProgram, CODE_BASE, MAX_CALL_DEPTH};
+
+use crate::codec::{BitRunCursor, DeltaCursor};
+use crate::format::Trace;
+
+/// Streams a recorded trace as architectural execution.
+///
+/// Replay mirrors the recording [`Thread`](bw_workload::Thread)'s
+/// control algorithm exactly — conditional outcomes and indirect
+/// targets come from the recorded streams, direct jumps/calls from the
+/// program image, and return targets from a mirrored call stack (or
+/// the indirect stream for imported traces) — so the step sequence is
+/// bit-identical to the generating run, without evaluating any
+/// behaviour automata or hash draws.
+pub struct TraceReader<'t> {
+    trace: &'t Trace,
+    pc: Addr,
+    ghist: u64,
+    call_stack: Vec<Addr>,
+    insts: u64,
+    cond: BitRunCursor<'t>,
+    indirect: DeltaCursor<'t>,
+    data: DeltaCursor<'t>,
+}
+
+impl<'t> TraceReader<'t> {
+    /// Starts replay at the trace's recorded entry point.
+    #[must_use]
+    pub fn new(trace: &'t Trace) -> Self {
+        TraceReader {
+            trace,
+            pc: trace.meta().entry,
+            ghist: 0,
+            call_stack: Vec::with_capacity(MAX_CALL_DEPTH),
+            insts: 0,
+            cond: trace.cond_cursor(),
+            indirect: trace.ind_cursor(),
+            data: trace.data_cursor(),
+        }
+    }
+
+    /// Instructions left before the recording runs out.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.trace.meta().insts.saturating_sub(self.insts)
+    }
+}
+
+impl InstSource for TraceReader<'_> {
+    fn program(&self) -> &StaticProgram {
+        self.trace.program()
+    }
+
+    fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    fn global_history(&self) -> u64 {
+        self.ghist
+    }
+
+    fn step(&mut self) -> ExecStep {
+        assert!(
+            self.insts < self.trace.meta().insts,
+            "trace '{}' exhausted after {} instructions; record a longer trace",
+            self.trace.meta().name,
+            self.insts,
+        );
+        let inst = self.trace.program().decode(self.pc);
+        self.insts += 1;
+
+        let data_addr = if inst.op.is_mem() {
+            Some(Addr(self.data.next()))
+        } else {
+            None
+        };
+
+        let control = match inst.cti {
+            None => {
+                self.pc = self.pc.next();
+                None
+            }
+            Some(info) => {
+                let resolved = self.resolve(info);
+                self.pc = resolved.next_pc;
+                Some(resolved)
+            }
+        };
+        ExecStep {
+            inst,
+            control,
+            data_addr,
+        }
+    }
+}
+
+impl TraceReader<'_> {
+    fn resolve(&mut self, info: bw_workload::CtiInfo) -> ResolvedCti {
+        match info.kind {
+            CtiKind::CondBranch => {
+                let outcome = Outcome::from_bool(self.cond.next() != 0);
+                self.ghist = (self.ghist << 1) | outcome.as_bit();
+                let next_pc = if outcome.is_taken() {
+                    info.target.expect("conditional branches are direct")
+                } else {
+                    self.pc.next()
+                };
+                ResolvedCti { outcome, next_pc }
+            }
+            CtiKind::Jump => ResolvedCti {
+                outcome: Outcome::Taken,
+                next_pc: info.target.expect("jumps are direct"),
+            },
+            CtiKind::Call => {
+                if self.call_stack.len() >= MAX_CALL_DEPTH {
+                    self.call_stack.remove(0);
+                }
+                self.call_stack.push(self.pc.next());
+                ResolvedCti {
+                    outcome: Outcome::Taken,
+                    next_pc: info.target.expect("calls are direct"),
+                }
+            }
+            CtiKind::Return => {
+                let next_pc = if self.trace.meta().returns_in_stream {
+                    Addr(self.indirect.next())
+                } else {
+                    self.call_stack.pop().unwrap_or(CODE_BASE)
+                };
+                ResolvedCti {
+                    outcome: Outcome::Taken,
+                    next_pc,
+                }
+            }
+            CtiKind::IndirectJump => ResolvedCti {
+                outcome: Outcome::Taken,
+                next_pc: Addr(self.indirect.next()),
+            },
+        }
+    }
+}

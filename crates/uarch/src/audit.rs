@@ -277,7 +277,7 @@ impl AuditState {
     }
 }
 
-impl Machine<'_> {
+impl<S: bw_workload::InstSource> Machine<'_, S> {
     /// Turns the runtime sanitizer on for the rest of this machine's
     /// life. `benchmark` labels any violations.
     ///
@@ -383,7 +383,7 @@ impl Machine<'_> {
         let mut view = self.audit_base_view();
         if self.cfg.speculative_history {
             view.ghr = self.predictor.debug_ghr();
-            view.oracle_history = Some(self.thread.global_history());
+            view.oracle_history = Some(self.source.global_history());
         }
         view.counters_in_range = Some(self.predictor.counters_in_range());
         a.registry.check_at(Boundary::Recovery, self.cycle, &view);

@@ -8,7 +8,7 @@ use bw_types::{Addr, CtiKind, OpClass, Seq};
 use crate::inflight::{EntryState, FetchedInst, RuuEntry};
 use crate::machine::Machine;
 
-impl Machine<'_> {
+impl<S: bw_workload::InstSource> Machine<'_, S> {
     /// Finds the RUU index of the entry with sequence number `seq`.
     ///
     /// The RUU is ordered by strictly increasing `seq` but may contain

@@ -12,7 +12,7 @@ use bw_predictors::{
     Btb, DirectionPredictor, JrsEstimator, NextLinePredictor, Ppd, PpdBits, PredictorConfig, Ras,
 };
 use bw_types::{Addr, CtiKind, Cycle, Seq};
-use bw_workload::{BenchmarkModel, StaticProgram, Thread};
+use bw_workload::{BenchmarkModel, InstSource, StaticProgram, Thread};
 
 use crate::cache::{Cache, Tlb};
 use crate::config::UarchConfig;
@@ -22,13 +22,13 @@ use crate::stats::SimStats;
 /// The cycle-level out-of-order machine.
 ///
 /// See the crate docs for the modelled pipeline. A `Machine` is built
-/// over a synthetic program and executes its architectural thread,
-/// fetching speculatively (including down wrong paths) by decoding
-/// PCs directly.
-pub struct Machine<'p> {
+/// over a synthetic program and executes an architectural instruction
+/// source (a live [`Thread`] by default, or a trace replayer), fetching
+/// speculatively (including down wrong paths) by decoding PCs directly.
+pub struct Machine<'p, S: InstSource = Thread<'p>> {
     pub(crate) cfg: UarchConfig,
     pub(crate) program: &'p StaticProgram,
-    pub(crate) thread: Thread<'p>,
+    pub(crate) source: S,
     // Prediction structures.
     pub(crate) predictor: Box<dyn DirectionPredictor + Send>,
     pub(crate) btb: Btb,
@@ -112,6 +112,39 @@ impl<'p> Machine<'p> {
         banked: bool,
         tech: &TechParams,
     ) -> Self {
+        let thread = model.thread(program, seed);
+        Machine::with_source(
+            cfg,
+            program,
+            thread,
+            model.working_set,
+            predictor_cfg,
+            kind,
+            banked,
+            tech,
+        )
+    }
+}
+
+impl<'p, S: InstSource> Machine<'p, S> {
+    /// Builds a machine over an explicit instruction source (the
+    /// generic entry point shared by generate and replay modes).
+    ///
+    /// `working_set` sizes the wrong-path data-address model; it must
+    /// match the source's own data model for generate/replay parity.
+    /// The source's current PC becomes the initial fetch PC.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn with_source(
+        cfg: &UarchConfig,
+        program: &'p StaticProgram,
+        source: S,
+        working_set: u64,
+        predictor_cfg: PredictorConfig,
+        kind: ModelKind,
+        banked: bool,
+        tech: &TechParams,
+    ) -> Self {
         let predictor = predictor_cfg.build();
         let ppd = cfg.ppd.map(|_| {
             let lines = cfg.l1i.size_bytes / cfg.l1i.line_bytes;
@@ -154,13 +187,12 @@ impl<'p> Machine<'p> {
             },
         );
         let power = ChipPower::new(tech, bpred_power);
-        let thread = model.thread(program, seed);
-        let fetch_pc = thread.pc();
+        let fetch_pc = source.pc();
         let depth = (1 + cfg.extra_rename_stages) as usize;
         Machine {
             cfg: cfg.clone(),
             program,
-            thread,
+            source,
             predictor,
             btb,
             ras,
@@ -187,7 +219,7 @@ impl<'p> Machine<'p> {
             bpred_totals: BpredTotals::default(),
             last_cond_at: 0,
             last_cti_at: 0,
-            working_set: model.working_set,
+            working_set,
             act: Activity::default(),
             bact: BpredActivity::default(),
             fetched_now: 0,
@@ -265,7 +297,7 @@ impl<'p> Machine<'p> {
     /// state while fast-forwarding past initialization.
     pub fn warmup(&mut self, insts: u64) {
         for _ in 0..insts {
-            let step = self.thread.step();
+            let step = self.source.step();
             let pc = step.inst.pc;
             // I-side warm: line granular.
             let hit = self.icache.access(pc, false).hit;
@@ -317,7 +349,7 @@ impl<'p> Machine<'p> {
                 }
             }
         }
-        self.fetch_pc = self.thread.pc();
+        self.fetch_pc = self.source.pc();
         self.on_correct_path = true;
     }
 
@@ -486,7 +518,7 @@ impl<'p> Machine<'p> {
             // correct path consume one oracle step each.
             let was_correct = self.on_correct_path;
             let (data_addr, actual) = if was_correct {
-                let step = self.thread.step();
+                let step = self.source.step();
                 debug_assert_eq!(step.inst.pc, pc, "oracle and fetch diverged");
                 (step.data_addr, step.control)
             } else {
@@ -515,7 +547,7 @@ impl<'p> Machine<'p> {
                         // predictor's global history equal to the
                         // architectural history including this branch.
                         if let Some(ghr) = self.predictor.debug_ghr() {
-                            let oracle = self.thread.global_history();
+                            let oracle = self.source.global_history();
                             debug_assert_eq!(
                                 ghr & 0xfff,
                                 oracle & 0xfff,

@@ -47,6 +47,7 @@ mod benchmarks;
 mod builder;
 mod inst;
 mod program;
+mod source;
 mod thread;
 pub(crate) mod util;
 
@@ -56,5 +57,6 @@ pub use benchmarks::{
 };
 pub use builder::ProgramBuilder;
 pub use inst::{CtiInfo, DecodedInst};
-pub use program::{Block, StaticProgram, Terminator, CODE_BASE, FUNC_BASE};
-pub use thread::{ExecStep, ResolvedCti, Thread};
+pub use program::{Block, InstMix, LayoutError, StaticProgram, Terminator, CODE_BASE, FUNC_BASE};
+pub use source::InstSource;
+pub use thread::{ExecStep, ResolvedCti, Thread, MAX_CALL_DEPTH};

@@ -74,12 +74,22 @@ impl Block {
 }
 
 /// Instruction-class mix for block bodies.
+///
+/// Fractions of body instructions in each non-ALU class; whatever
+/// remains is plain integer ALU work. Body op classes are hash-derived
+/// from the mix unless the program carries an explicit op table (see
+/// [`StaticProgram::with_explicit_main_ops`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub(crate) struct InstMix {
+pub struct InstMix {
+    /// Fraction of loads.
     pub load: f64,
+    /// Fraction of stores.
     pub store: f64,
+    /// Fraction of simple floating-point operations.
     pub fp_alu: f64,
+    /// Fraction of floating-point multiplies/divides.
     pub fp_mul: f64,
+    /// Fraction of integer multiplies/divides.
     pub int_mul: f64,
 }
 
@@ -142,7 +152,70 @@ pub struct StaticProgram {
     func_end: Addr,
     behaviors: Vec<Behavior>,
     mix: InstMix,
+    /// Optional explicit op class per main-region instruction slot
+    /// (empty: body classes are hash-derived from `mix`). Used by
+    /// imported traces, whose loads/stores sit at fixed PCs.
+    main_ops: Vec<OpClass>,
 }
+
+/// Why explicit program parts could not be assembled into a
+/// [`StaticProgram`] (see [`StaticProgram::try_from_parts`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The main region had no blocks.
+    EmptyMain,
+    /// A block did not start where its predecessor ended.
+    NonContiguous {
+        /// `"main"` or `"func"`.
+        region: &'static str,
+        /// Index of the offending block.
+        index: usize,
+    },
+    /// A conditional-branch terminator referenced a site id with no
+    /// behaviour entry.
+    SiteOutOfRange {
+        /// The referenced site id.
+        site: u32,
+        /// Number of behaviour entries supplied.
+        sites: usize,
+    },
+    /// The explicit op table's length did not match the main region's
+    /// instruction count.
+    OpTableMismatch {
+        /// Instruction slots in the main region.
+        expect: usize,
+        /// Op entries supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::EmptyMain => write!(f, "program needs at least one main block"),
+            LayoutError::NonContiguous { region, index } => {
+                write!(
+                    f,
+                    "{region} block {index} starts at a different address than its predecessor's end"
+                )
+            }
+            LayoutError::SiteOutOfRange { site, sites } => {
+                write!(
+                    f,
+                    "conditional site {site} out of range ({sites} behaviours)"
+                )
+            }
+            LayoutError::OpTableMismatch { expect, got } => {
+                write!(
+                    f,
+                    "op table has {got} entries but the main region has {expect} slots"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
 
 impl StaticProgram {
     /// Builds a program from explicit parts (used by the benchmark
@@ -159,19 +232,52 @@ impl StaticProgram {
         behaviors: Vec<Behavior>,
         mix: InstMix,
     ) -> Self {
-        assert!(
-            !main_blocks.is_empty(),
-            "program needs at least one main block"
-        );
-        check_contiguous(&main_blocks, CODE_BASE);
+        match Self::try_from_parts(salt, main_blocks, func_blocks, behaviors, mix) {
+            Ok(p) => p,
+            Err(e) => panic!("invalid program parts: {e}"),
+        }
+    }
+
+    /// Builds a program from explicit parts, validating the layout:
+    /// blocks must be laid out contiguously from their region bases and
+    /// every conditional terminator's site must have a behaviour entry.
+    ///
+    /// This is the non-panicking entry point deserializers (e.g. the
+    /// `bw-trace` program image) use, so corrupt inputs surface as
+    /// [`LayoutError`]s rather than panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LayoutError`] the parts violate.
+    pub fn try_from_parts(
+        salt: u64,
+        main_blocks: Vec<Block>,
+        func_blocks: Vec<Block>,
+        behaviors: Vec<Behavior>,
+        mix: InstMix,
+    ) -> Result<Self, LayoutError> {
+        if main_blocks.is_empty() {
+            return Err(LayoutError::EmptyMain);
+        }
+        check_contiguous(&main_blocks, CODE_BASE, "main")?;
         if !func_blocks.is_empty() {
-            check_contiguous(&func_blocks, FUNC_BASE);
+            check_contiguous(&func_blocks, FUNC_BASE, "func")?;
+        }
+        for b in main_blocks.iter().chain(&func_blocks) {
+            if let Terminator::CondBranch { site, .. } = b.term {
+                if site as usize >= behaviors.len() {
+                    return Err(LayoutError::SiteOutOfRange {
+                        site,
+                        sites: behaviors.len(),
+                    });
+                }
+            }
         }
         let main_starts = main_blocks.iter().map(|b| b.start.0).collect();
         let func_starts: Vec<u64> = func_blocks.iter().map(|b| b.start.0).collect();
-        let main_end = main_blocks.last().expect("nonempty").end();
+        let main_end = main_blocks.last().map_or(CODE_BASE, Block::end);
         let func_end = func_blocks.last().map_or(FUNC_BASE, Block::end);
-        StaticProgram {
+        Ok(StaticProgram {
             salt,
             main_blocks,
             main_starts,
@@ -181,13 +287,60 @@ impl StaticProgram {
             func_end,
             behaviors,
             mix,
+            main_ops: Vec::new(),
+        })
+    }
+
+    /// Attaches an explicit op class per main-region instruction slot,
+    /// overriding the hash-derived body classes. Terminator slots must
+    /// carry [`OpClass::Cti`]; imported traces use this so their
+    /// loads/stores decode at the recorded PCs.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::OpTableMismatch`] if `ops` does not cover the
+    /// main region exactly.
+    pub fn with_explicit_main_ops(mut self, ops: Vec<OpClass>) -> Result<Self, LayoutError> {
+        let expect = ((self.main_end.0 - CODE_BASE.0) / INST_BYTES) as usize;
+        if ops.len() != expect {
+            return Err(LayoutError::OpTableMismatch {
+                expect,
+                got: ops.len(),
+            });
         }
+        self.main_ops = ops;
+        Ok(self)
     }
 
     /// The program entry point.
     #[must_use]
     pub fn entry(&self) -> Addr {
         CODE_BASE
+    }
+
+    /// The hash salt that parameterizes pure-PC decoding.
+    #[must_use]
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// All behaviour automata, indexed by site id.
+    #[must_use]
+    pub fn behaviors(&self) -> &[Behavior] {
+        &self.behaviors
+    }
+
+    /// The body instruction-class mix.
+    #[must_use]
+    pub fn inst_mix(&self) -> InstMix {
+        self.mix
+    }
+
+    /// The explicit main-region op table, if one was attached (empty
+    /// slice otherwise).
+    #[must_use]
+    pub fn main_ops(&self) -> &[OpClass] {
+        &self.main_ops
     }
 
     /// Number of conditional-branch sites with behaviour automata.
@@ -229,10 +382,10 @@ impl StaticProgram {
     #[must_use]
     pub fn decode(&self, pc: Addr) -> DecodedInst {
         if pc >= CODE_BASE && pc < self.main_end {
-            return self.decode_in(&self.main_blocks, &self.main_starts, pc);
+            return self.decode_in(&self.main_blocks, &self.main_starts, pc, true);
         }
         if pc >= FUNC_BASE && pc < self.func_end {
-            return self.decode_in(&self.func_blocks, &self.func_starts, pc);
+            return self.decode_in(&self.func_blocks, &self.func_starts, pc, false);
         }
         self.decode_wild(pc)
     }
@@ -244,12 +397,17 @@ impl StaticProgram {
         (pc >= CODE_BASE && pc < self.main_end) || (pc >= FUNC_BASE && pc < self.func_end)
     }
 
-    fn decode_in(&self, blocks: &[Block], starts: &[u64], pc: Addr) -> DecodedInst {
+    fn decode_in(&self, blocks: &[Block], starts: &[u64], pc: Addr, is_main: bool) -> DecodedInst {
         let idx = starts.partition_point(|&s| s <= pc.0) - 1;
         let block = &blocks[idx];
         debug_assert!(pc >= block.start && pc < block.end());
         let slot = (pc.0 - block.start.0) / INST_BYTES;
         if slot < u64::from(block.body_len) {
+            if is_main && !self.main_ops.is_empty() {
+                let main_slot = ((pc.0 - CODE_BASE.0) / INST_BYTES) as usize;
+                let op = self.main_ops[main_slot];
+                return DecodedInst::simple(pc, op, self.dep_for(pc, 1), self.dep_for(pc, 2));
+            }
             self.body_inst(pc)
         } else {
             let info = match block.term {
@@ -374,16 +532,15 @@ impl StaticProgram {
     }
 }
 
-fn check_contiguous(blocks: &[Block], base: Addr) {
+fn check_contiguous(blocks: &[Block], base: Addr, region: &'static str) -> Result<(), LayoutError> {
     let mut expect = base;
     for (i, b) in blocks.iter().enumerate() {
-        assert!(
-            b.start == expect,
-            "block {i} starts at {} but previous block ends at {expect}",
-            b.start
-        );
+        if b.start != expect {
+            return Err(LayoutError::NonContiguous { region, index: i });
+        }
         expect = b.end();
     }
+    Ok(())
 }
 
 #[cfg(test)]

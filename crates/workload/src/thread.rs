@@ -8,8 +8,9 @@ use bw_types::{Addr, CtiKind, Outcome};
 /// Maximum architectural call depth the oracle tracks. Deeper calls
 /// recycle the oldest frame (like a RAS overflowing), which the
 /// generator's forward-only call discipline makes essentially
-/// unreachable.
-const MAX_CALL_DEPTH: usize = 128;
+/// unreachable. Public because trace replay must mirror the same
+/// call-stack discipline to reproduce return targets bit-exactly.
+pub const MAX_CALL_DEPTH: usize = 128;
 
 /// The resolved control of an architecturally executed CTI.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,6 +101,12 @@ impl<'p> Thread<'p> {
             random_frac,
             stream_cursor: 0,
         }
+    }
+
+    /// The program this thread executes.
+    #[must_use]
+    pub fn program(&self) -> &'p StaticProgram {
+        self.program
     }
 
     /// The current architectural PC (next instruction to execute).
