@@ -5,7 +5,7 @@
 
 use bw_core::experiments::{fig03_squarification, fig11_banked_timing, table3};
 use bw_core::zoo::NamedPredictor;
-use bw_core::{simulate, SimConfig};
+use bw_core::{simulate, RunPlan, Runner, SimConfig};
 use bw_workload::benchmark;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -30,6 +30,29 @@ fn bench_experiments(c: &mut Criterion) {
             .build()
             .expect("valid config");
         b.iter(|| black_box(simulate(model, NamedPredictor::Bim4k.config(), &cfg).ipc()));
+    });
+
+    // Supervision overhead: the same tiny plan executed strict vs
+    // supervised (panic isolation + cancellation polling). The two
+    // should be within noise of each other (<2% is the budget).
+    let model = benchmark("vortex").expect("built-in");
+    let cfg = SimConfig::builder()
+        .warmup_insts(50_000)
+        .measure_insts(20_000)
+        .seed(3)
+        .build()
+        .expect("valid config");
+    let plan = {
+        let mut plan = RunPlan::new();
+        plan.add(model, NamedPredictor::Bim4k.config(), &cfg);
+        plan
+    };
+    let runner = Runner::serial();
+    g.bench_function("run_one_cell_strict", |b| {
+        b.iter(|| black_box(runner.run(&plan, |_| {}).len()));
+    });
+    g.bench_function("run_one_cell_supervised", |b| {
+        b.iter(|| black_box(runner.run_supervised(&plan, |_| {}).len()));
     });
 
     g.finish();

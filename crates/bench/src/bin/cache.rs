@@ -1,0 +1,65 @@
+//! Run-cache maintenance: `cache verify` and `cache repair`.
+//!
+//! * `verify` — scan every entry in the cache directory and report
+//!   `ok / stale / corrupt / stray tmp` counts, listing each damaged
+//!   file. Exits 1 when anything needs repair, 0 when clean.
+//! * `repair` — same scan, then evict every corrupt entry and stray
+//!   `.tmp` staging file (stale entries are left alone — they are
+//!   replaced lazily on the next store of their key). Exits 0.
+//!
+//! Both accept `--cache-dir DIR` (default `results/cache`).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use bw_core::RunCache;
+
+fn usage() -> ! {
+    eprintln!("usage: cache <verify|repair> [--cache-dir DIR]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode: Option<String> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "verify" | "repair" if mode.is_none() => mode = Some(args[i].clone()),
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => dir = Some(PathBuf::from(p)),
+                    None => usage(),
+                }
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(mode) = mode else { usage() };
+    let cache = RunCache::new(dir.unwrap_or_else(RunCache::default_dir));
+    println!("cache dir: {}", cache.dir().display());
+
+    let audit = match mode.as_str() {
+        "verify" => cache.verify_dir(),
+        _ => cache.repair(),
+    };
+    for p in &audit.corrupt {
+        println!("  corrupt: {}", p.display());
+    }
+    for p in &audit.stray_tmp {
+        println!("  stray tmp: {}", p.display());
+    }
+    println!("{}: {}", mode, audit.summary());
+    if mode == "repair" {
+        println!(
+            "evicted {} file(s)",
+            audit.corrupt.len() + audit.stray_tmp.len()
+        );
+    } else if !audit.is_clean() {
+        std::process::exit(1);
+    }
+}

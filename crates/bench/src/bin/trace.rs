@@ -23,7 +23,7 @@
 //! line; see `bw_core::trace::import_text` for the grammar) into a
 //! `.bwt` file that replays on the simulated machine.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use bw_core::trace::{characterize, import_text, record_model, REPLAY_SLACK_INSTS};
@@ -121,7 +121,7 @@ fn load(path: &str) -> Trace {
     }
 }
 
-fn save(trace: &Trace, path: &PathBuf) {
+fn save(trace: &Trace, path: &Path) {
     if let Err(e) = trace.save(path) {
         eprintln!("cannot write {}: {e}", path.display());
         exit(1);

@@ -20,6 +20,20 @@
 //!   (invariant checks per cycle/commit/recovery; implies no cache)
 //!   and exit nonzero on any violation. Results are identical to an
 //!   unaudited run — the sanitizer is observation-only.
+//! * `--keep-going` (default) — sweep binaries run supervised: a
+//!   panicking, hanging, or corrupted run becomes a failure record,
+//!   every healthy row still renders (missing cells show `-`), the
+//!   failure summary goes to stderr, and the exit status is nonzero.
+//! * `--fail-fast` — the pre-supervision behavior: the first failing
+//!   run unwinds the process.
+//! * `--run-timeout SECS` — per-attempt wall-clock watchdog for
+//!   supervised runs (default: none).
+//! * `--retries N` — attempts per supervised run (default 2, i.e. one
+//!   retry with backoff).
+//!
+//! Builds with the `fault-inject` feature additionally honour the
+//! `BW_FAULT` environment variable (`kind[:param][xN]@target` clauses,
+//! `;`-separated — see `bw-fault`) for deterministic chaos testing.
 //!
 //! Run them as `cargo run --release -p bw-bench --bin fig05 -- [flags]`.
 //!
@@ -33,11 +47,15 @@
 #![warn(missing_docs)]
 
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
-use bw_core::experiments::{sweep_rows, trace_sweep_rows, SweepRow};
+use bw_core::experiments::{
+    sweep_rows, sweep_rows_supervised, trace_sweep_rows, trace_sweep_rows_supervised,
+    SupervisedSweep, SweepRow,
+};
 use bw_core::trace::Trace;
-use bw_core::{RunCache, Runner, SimConfig};
+use bw_core::{RunCache, Runner, SimConfig, Supervision};
 use bw_workload::BenchmarkModel;
 
 /// Parsed command line: simulation budget, runner controls, and an
@@ -60,6 +78,13 @@ pub struct Cli {
     /// Replay this recorded `.bwt` trace instead of generating
     /// workloads (`--trace FILE`; sweep binaries).
     pub trace: Option<PathBuf>,
+    /// Let the first failing run unwind the process (`--fail-fast`)
+    /// instead of the default supervised keep-going sweep.
+    pub fail_fast: bool,
+    /// Per-attempt wall-clock watchdog in seconds (`--run-timeout`).
+    pub run_timeout: Option<u64>,
+    /// Attempts per supervised run (`--retries N` means N attempts).
+    pub retries: Option<u32>,
 }
 
 impl Cli {
@@ -69,6 +94,7 @@ impl Cli {
     /// arguments.
     #[must_use]
     pub fn parse() -> Cli {
+        arm_faults_from_env();
         Self::parse_from(std::env::args().skip(1).collect())
     }
 
@@ -81,6 +107,9 @@ impl Cli {
             cache_dir: None,
             audit: false,
             trace: None,
+            fail_fast: false,
+            run_timeout: None,
+            retries: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -119,6 +148,16 @@ impl Cli {
                 }
                 "--no-cache" => cli.no_cache = true,
                 "--audit" => cli.audit = true,
+                "--fail-fast" => cli.fail_fast = true,
+                "--keep-going" => cli.fail_fast = false,
+                "--run-timeout" => {
+                    i += 1;
+                    cli.run_timeout = Some(parse_num(&args, i, "--run-timeout"));
+                }
+                "--retries" => {
+                    i += 1;
+                    cli.retries = Some(parse_num(&args, i, "--retries") as u32);
+                }
                 "--cache-dir" => {
                     i += 1;
                     cli.cache_dir = Some(PathBuf::from(parse_path(&args, i, "--cache-dir")));
@@ -130,15 +169,31 @@ impl Cli {
         cli
     }
 
+    /// The [`Supervision`] policy these flags describe (defaults plus
+    /// `--run-timeout` / `--retries`).
+    #[must_use]
+    pub fn supervision(&self) -> Supervision {
+        let mut sup = Supervision::default();
+        if let Some(secs) = self.run_timeout {
+            sup = sup.with_timeout(Duration::from_secs(secs));
+        }
+        if let Some(n) = self.retries {
+            sup = sup.with_max_attempts(n.max(1));
+        }
+        sup
+    }
+
     /// Builds the [`Runner`] these flags describe: a worker pool sized
     /// by `--jobs` (default: available cores) over the persistent run
-    /// cache, unless `--no-cache`.
+    /// cache, unless `--no-cache`, with the supervision policy from
+    /// [`Cli::supervision`] attached.
     #[must_use]
     pub fn runner(&self) -> Runner {
         let runner = match self.jobs {
             Some(n) => Runner::with_jobs(n),
             None => Runner::parallel(),
-        };
+        }
+        .supervised(self.supervision());
         // `--audit` implies no cache: every run must actually execute
         // under the sanitizer. The runner enforces this too; skipping
         // the attach here just keeps the intent visible.
@@ -178,10 +233,28 @@ fn bad_flag(msg: &str) -> ! {
     eprintln!(
         "usage: [--quick|--paper] [--warmup N] [--measure N] [--seed N] \
          [--csv FILE] [--jobs N] [--no-cache] [--cache-dir DIR] [--audit] \
-         [--trace FILE]"
+         [--trace FILE] [--keep-going|--fail-fast] [--run-timeout SECS] \
+         [--retries N]"
     );
     std::process::exit(2);
 }
+
+/// Arms the process-wide fault plan from `BW_FAULT` / `BW_FAULT_SEED`
+/// (fault-inject builds only; exits with status 2 on a malformed spec).
+#[cfg(feature = "fault-inject")]
+fn arm_faults_from_env() {
+    match bw_fault::FaultPlan::from_env() {
+        Ok(Some(plan)) => bw_fault::arm(plan),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("BW_FAULT: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn arm_faults_from_env() {}
 
 fn parse_num(args: &[String], i: usize, flag: &str) -> u64 {
     let Some(arg) = args.get(i) else {
@@ -207,13 +280,14 @@ pub fn config_from_args() -> SimConfig {
     Cli::parse().cfg
 }
 
-/// Writes CSV content, logging the destination.
+/// Writes CSV content atomically (stage + rename), logging the
+/// destination.
 ///
 /// # Panics
 ///
 /// Panics if the file cannot be written.
-pub fn write_csv(path: &PathBuf, content: &str) {
-    std::fs::write(path, content).expect("failed to write CSV");
+pub fn write_csv(path: &Path, content: &str) {
+    bw_core::fsutil::atomic_write(path, content.as_bytes()).expect("failed to write CSV");
     eprintln!("  wrote {}", path.display());
 }
 
@@ -231,7 +305,7 @@ pub fn progress_done() {
 }
 
 /// Loads the `--trace` file, exiting with a diagnostic on failure.
-fn load_trace(path: &PathBuf) -> std::sync::Arc<Trace> {
+fn load_trace(path: &Path) -> std::sync::Arc<Trace> {
     match Trace::load(path) {
         Ok(t) => std::sync::Arc::new(t),
         Err(e) => {
@@ -245,6 +319,12 @@ fn load_trace(path: &PathBuf) -> std::sync::Arc<Trace> {
 /// run (or re-load) the sweep over `suite` — or replay a `--trace`
 /// recording in its place — write `csv` rows if requested, and print
 /// `title` plus the rendered figure.
+///
+/// By default the sweep runs supervised (`--keep-going`): failed runs
+/// become failure records, every healthy row still renders (renderers
+/// show `-` for a missing cell), the failure summary goes to stderr
+/// and the process exits 1. With `--fail-fast`, the first failing run
+/// unwinds the process instead.
 pub fn sweep_figure_main(
     title: &str,
     suite: &[&'static BenchmarkModel],
@@ -253,21 +333,36 @@ pub fn sweep_figure_main(
 ) {
     let cli = Cli::parse();
     let runner = cli.runner();
-    let rows = match &cli.trace {
-        Some(path) => {
-            let trace = load_trace(path);
-            match trace_sweep_rows(&runner, &trace, &cli.cfg, progress_line()) {
-                Ok(rows) => rows,
-                Err(e) => {
-                    eprintln!(
-                        "
-{e}"
-                    );
-                    std::process::exit(2);
+    let (rows, set) = if cli.fail_fast {
+        let rows = match &cli.trace {
+            Some(path) => {
+                let trace = load_trace(path);
+                match trace_sweep_rows(&runner, &trace, &cli.cfg, progress_line()) {
+                    Ok(rows) => rows,
+                    Err(e) => {
+                        eprintln!("\n{e}");
+                        std::process::exit(2);
+                    }
                 }
             }
-        }
-        None => sweep_rows(&runner, suite, &cli.cfg, progress_line()),
+            None => sweep_rows(&runner, suite, &cli.cfg, progress_line()),
+        };
+        (rows, None)
+    } else {
+        let SupervisedSweep { rows, set } = match &cli.trace {
+            Some(path) => {
+                let trace = load_trace(path);
+                match trace_sweep_rows_supervised(&runner, &trace, &cli.cfg, progress_line()) {
+                    Ok(sweep) => sweep,
+                    Err(e) => {
+                        eprintln!("\n{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            None => sweep_rows_supervised(&runner, suite, &cli.cfg, progress_line()),
+        };
+        (rows, Some(set))
     };
     progress_done();
     cli.finish_audit(&runner);
@@ -278,6 +373,15 @@ pub fn sweep_figure_main(
         println!("{title}\n");
     }
     println!("{}", render(&rows));
+    if let Some(set) = set {
+        if set.is_degraded() {
+            for f in set.failures() {
+                eprintln!("  failed: {f}");
+            }
+            eprintln!("  {}", set.summary());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// What a study body hands back to [`study_main`].
@@ -355,6 +459,20 @@ mod tests {
             Some(std::path::Path::new("/tmp/bwcache"))
         );
         assert_eq!(cli.runner().jobs(), 3);
+    }
+
+    #[test]
+    fn supervision_flags_are_parsed() {
+        let cli = parse(&["--fail-fast", "--run-timeout", "30", "--retries", "4"]);
+        assert!(cli.fail_fast);
+        assert_eq!(cli.run_timeout, Some(30));
+        assert_eq!(cli.retries, Some(4));
+        let sup = cli.supervision();
+        assert_eq!(sup.run_timeout, Some(Duration::from_secs(30)));
+        assert_eq!(sup.max_attempts, 4);
+        // --keep-going (the default) undoes --fail-fast.
+        assert!(!parse(&["--fail-fast", "--keep-going"]).fail_fast);
+        assert!(!parse(&[]).fail_fast);
     }
 
     #[test]

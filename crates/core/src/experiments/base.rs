@@ -86,6 +86,82 @@ pub fn trace_sweep_rows(
         .collect())
 }
 
+/// A supervised sweep: the rows that completed plus the typed report
+/// of everything that did not. The figure renderers mark a missing
+/// cell with `-`, so a degraded sweep still renders every healthy
+/// result.
+pub struct SupervisedSweep {
+    /// Completed cells (a strict subset of the plan when degraded).
+    pub rows: Vec<SweepRow>,
+    /// The full supervised execution record (failures, retry and
+    /// quarantine counters).
+    pub set: crate::supervise::SupervisedRunSet,
+}
+
+impl SupervisedSweep {
+    /// `true` when any planned run failed (callers should print
+    /// [`SupervisedRunSet::summary`](crate::supervise::SupervisedRunSet::summary)
+    /// and exit nonzero).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.set.is_degraded()
+    }
+}
+
+/// Supervised form of [`sweep_rows`]: failed runs become failure
+/// records instead of unwinding the sweep; every healthy row is still
+/// produced and rendered.
+pub fn sweep_rows_supervised(
+    runner: &Runner,
+    models: &[&'static BenchmarkModel],
+    cfg: &SimConfig,
+    progress: impl FnMut(&str) + Send,
+) -> SupervisedSweep {
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::with_capacity(NamedPredictor::FIGURE_ORDER.len() * models.len());
+    for p in NamedPredictor::FIGURE_ORDER {
+        for m in models {
+            let label = format!("{} / {}", p.label(), m.name);
+            keys.push((p, plan.add_labeled(m, p.config(), cfg, label)));
+        }
+    }
+    let mut set = runner.run_supervised(&plan, progress);
+    let rows = keys
+        .into_iter()
+        .filter_map(|(predictor, key)| set.remove(&key).map(|run| SweepRow { predictor, run }))
+        .collect();
+    SupervisedSweep { rows, set }
+}
+
+/// Supervised form of [`trace_sweep_rows`].
+///
+/// # Errors
+///
+/// [`TraceRunError::BudgetExceedsTrace`] if the recording is shorter
+/// than `cfg`'s warmup + measure budget (checked at plan time; a
+/// mid-replay trace failure becomes a
+/// [`RunOutcome::TraceError`](crate::supervise::RunOutcome) record
+/// instead).
+pub fn trace_sweep_rows_supervised(
+    runner: &Runner,
+    trace: &Arc<Trace>,
+    cfg: &SimConfig,
+    progress: impl FnMut(&str) + Send,
+) -> Result<SupervisedSweep, TraceRunError> {
+    let mut plan = RunPlan::new();
+    let mut keys = Vec::with_capacity(NamedPredictor::FIGURE_ORDER.len());
+    for p in NamedPredictor::FIGURE_ORDER {
+        let label = format!("{} / {} (trace)", p.label(), trace.meta().name);
+        keys.push((p, plan.add_trace(trace, p.config(), cfg, label)?));
+    }
+    let mut set = runner.run_supervised(&plan, progress);
+    let rows = keys
+        .into_iter()
+        .filter_map(|(predictor, key)| set.remove(&key).map(|run| SweepRow { predictor, run }))
+        .collect();
+    Ok(SupervisedSweep { rows, set })
+}
+
 /// Serial convenience form of [`sweep_rows`] — the paper's base sweep
 /// on a one-worker, uncached [`Runner`].
 pub fn base_sweep(

@@ -36,7 +36,8 @@ pub mod tables;
 pub use arrays_study::{fig03_squarification, fig11_banked_timing, table3};
 pub use base::{
     base_sweep, fig02_model_comparison, fig05_accuracy_ipc, fig06_energy, fig07_power,
-    fig12_13_banking, sweep_rows, trace_sweep_rows, SweepRow,
+    fig12_13_banking, sweep_rows, sweep_rows_supervised, trace_sweep_rows,
+    trace_sweep_rows_supervised, SupervisedSweep, SweepRow,
 };
 pub use ext::{
     banking_ablation, btb_study, jrs_gating_render, jrs_gating_study, machine_ablation,

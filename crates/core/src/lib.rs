@@ -42,15 +42,28 @@ pub mod export;
 pub mod report;
 pub mod runner;
 mod sim;
+pub mod supervise;
 pub mod zoo;
 
-pub use runner::{RunCache, RunKey, RunPlan, RunSet, Runner, WorkloadId};
+pub use runner::{CacheAudit, CacheLookup, RunCache, RunKey, RunPlan, RunSet, Runner, WorkloadId};
 #[cfg(feature = "audit")]
-pub use sim::{audit_replay_roundtrip, simulate_audited, simulate_trace_audited};
 pub use sim::{
-    bpred_share, check_trace_budget, record_trace, simulate, simulate_trace, ConfigError,
-    RunResult, SimConfig, SimConfigBuilder, TraceRunError,
+    audit_replay_roundtrip, simulate_audited, simulate_audited_ctl, simulate_trace_audited,
+    simulate_trace_audited_ctl,
 };
+pub use sim::{
+    bpred_share, check_trace_budget, record_trace, simulate, simulate_ctl, simulate_trace,
+    simulate_trace_ctl, ConfigError, RunResult, SimConfig, SimConfigBuilder, TraceRunError,
+};
+#[cfg(feature = "audit")]
+pub use supervise::supervision_violations;
+pub use supervise::{
+    CancelToken, Cancelled, RunFailure, RunOutcome, SupervisedRunSet, Supervision, QUARANTINE_FILE,
+};
+
+/// Atomic filesystem helpers (re-export of [`bw_types::fsutil`]): the
+/// workspace-wide replacement for bare `std::fs::write`.
+pub use bw_types::fsutil;
 
 /// A runtime-sanitizer violation (re-export; `audit` feature).
 #[cfg(feature = "audit")]

@@ -1,6 +1,6 @@
 //! The unified experiment engine: every figure and study in
 //! [`crate::experiments`] routes its simulations through this module
-//! instead of calling [`simulate`] directly.
+//! instead of calling [`crate::simulate`] directly.
 //!
 //! The pieces:
 //!
@@ -41,14 +41,18 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use bw_predictors::PredictorConfig;
 use bw_trace::Trace;
 use bw_workload::BenchmarkModel;
 
-use crate::sim::{fnv1a, simulate, simulate_trace, RunResult, SimConfig, TraceRunError};
+use crate::sim::{fnv1a, RunResult, SimConfig, TraceRunError};
+use crate::supervise::{
+    attempt_run, CancelToken, Cancelled, Quarantine, RunFailure, RunOutcome, SupervisedRunSet,
+    Supervision, QUARANTINE_FILE,
+};
 
 /// An interned workload identifier: either a built-in benchmark name
 /// or a trace identity (`name@digest`).
@@ -100,8 +104,9 @@ impl WorkloadId {
 }
 
 /// Version stamp embedded in every cache file; bump on any change to
-/// the serialized layout to orphan stale entries.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// the serialized layout to orphan stale entries. Version 2 wrapped
+/// the identity + result payload in an outer checksummed envelope.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// The identity of one simulation run.
 ///
@@ -284,6 +289,13 @@ impl RunPlan {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Every planned key with its progress label, in plan order (used
+    /// by the supervision invariants).
+    #[cfg(feature = "audit")]
+    pub(crate) fn keys_and_labels(&self) -> impl Iterator<Item = (RunKey, &str)> {
+        self.entries.iter().map(|e| (e.key, e.label.as_str()))
+    }
 }
 
 /// The results of an executed [`RunPlan`], keyed by [`RunKey`].
@@ -340,6 +352,7 @@ impl RunSet {
 pub struct Runner {
     jobs: usize,
     cache: Option<RunCache>,
+    supervision: Supervision,
     /// Violations collected from audited simulations (audit feature;
     /// `None` when auditing is off).
     #[cfg(feature = "audit")]
@@ -348,12 +361,13 @@ pub struct Runner {
 
 impl Runner {
     /// A single-threaded runner with no cache — the drop-in equivalent
-    /// of calling [`simulate`] in a loop.
+    /// of calling [`crate::simulate`] in a loop.
     #[must_use]
     pub fn serial() -> Self {
         Runner {
             jobs: 1,
             cache: None,
+            supervision: Supervision::default(),
             #[cfg(feature = "audit")]
             audit_sink: None,
         }
@@ -365,9 +379,7 @@ impl Runner {
         let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         Runner {
             jobs,
-            cache: None,
-            #[cfg(feature = "audit")]
-            audit_sink: None,
+            ..Runner::serial()
         }
     }
 
@@ -376,9 +388,7 @@ impl Runner {
     pub fn with_jobs(jobs: usize) -> Self {
         Runner {
             jobs: jobs.max(1),
-            cache: None,
-            #[cfg(feature = "audit")]
-            audit_sink: None,
+            ..Runner::serial()
         }
     }
 
@@ -386,6 +396,16 @@ impl Runner {
     #[must_use]
     pub fn cached(mut self, cache: RunCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Sets the supervision policy used by
+    /// [`run_supervised`](Runner::run_supervised) (watchdog timeout,
+    /// retry budget, quarantine threshold). [`run`](Runner::run) is
+    /// unaffected.
+    #[must_use]
+    pub fn supervised(mut self, supervision: Supervision) -> Self {
+        self.supervision = supervision;
         self
     }
 
@@ -432,24 +452,49 @@ impl Runner {
 
     /// Executes one planned simulation, auditing if enabled.
     fn execute(&self, e: &PlanEntry) -> RunResult {
+        self.execute_ctl(e, None).expect("no token, cannot cancel")
+    }
+
+    /// Cancellable form of [`execute`](Runner::execute): the sim loop
+    /// polls `token` between instruction chunks. Under `fault-inject`
+    /// the entry's label becomes the thread's ambient injection scope,
+    /// so faults can target runs by the same labels a human sees in
+    /// progress output.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token fired before the run completed.
+    fn execute_ctl(
+        &self,
+        e: &PlanEntry,
+        token: Option<&CancelToken>,
+    ) -> Result<RunResult, Cancelled> {
+        #[cfg(feature = "fault-inject")]
+        let _scope = bw_fault::ScopeGuard::enter(&e.label);
         #[cfg(feature = "audit")]
         if let Some(sink) = &self.audit_sink {
             let (r, violations) = match &e.source {
-                PlanSource::Model(model) => crate::simulate_audited(model, e.key.predictor, &e.cfg),
+                PlanSource::Model(model) => {
+                    crate::simulate_audited_ctl(model, e.key.predictor, &e.cfg, token)?
+                }
                 PlanSource::Trace(trace) => {
-                    crate::simulate_trace_audited(trace, e.key.predictor, &e.cfg)
-                        .expect("trace budget was validated at plan time")
+                    crate::simulate_trace_audited_ctl(trace, e.key.predictor, &e.cfg, token)
+                        .expect("trace budget was validated at plan time")?
                 }
             };
             if !violations.is_empty() {
                 sink.lock().expect("audit sink lock").extend(violations);
             }
-            return r;
+            return Ok(r);
         }
         match &e.source {
-            PlanSource::Model(model) => simulate(model, e.key.predictor, &e.cfg),
-            PlanSource::Trace(trace) => simulate_trace(trace, e.key.predictor, &e.cfg)
-                .expect("trace budget was validated at plan time"),
+            PlanSource::Model(model) => {
+                crate::sim::simulate_ctl(model, e.key.predictor, &e.cfg, token)
+            }
+            PlanSource::Trace(trace) => {
+                crate::sim::simulate_trace_ctl(trace, e.key.predictor, &e.cfg, token)
+                    .expect("trace budget was validated at plan time")
+            }
         }
     }
 
@@ -464,18 +509,32 @@ impl Runner {
     /// `progress` receives each entry's label as it starts (from
     /// worker threads when running parallel, hence `Send`).
     ///
+    /// A cache entry that fails validation (corrupt file) is evicted
+    /// and the run re-executes — identical to a miss. For typed
+    /// failure reporting instead of unwinding, see
+    /// [`run_supervised`](Runner::run_supervised).
+    ///
     /// # Panics
     ///
-    /// Panics if a worker thread panics (a simulation bug).
+    /// Panics if a worker thread panics (a simulation bug). Results
+    /// completed by other workers before the panic are still stored to
+    /// the cache first, so a re-invocation resumes instead of
+    /// restarting.
     pub fn run(&self, plan: &RunPlan, mut progress: impl FnMut(&str) + Send) -> RunSet {
         let mut results = HashMap::with_capacity(plan.entries.len());
         let mut misses: Vec<&PlanEntry> = Vec::new();
         for e in &plan.entries {
-            match self.effective_cache().and_then(|c| c.load(&e.key)) {
-                Some(r) => {
-                    results.insert(e.key, r);
+            match self.probe_cache(e) {
+                CacheLookup::Hit(r) => {
+                    results.insert(e.key, *r);
                 }
-                None => misses.push(e),
+                CacheLookup::Corrupt(path) => {
+                    if let Some(c) = self.effective_cache() {
+                        c.evict(&path);
+                    }
+                    misses.push(e);
+                }
+                CacheLookup::Miss => misses.push(e),
             }
         }
         let cache_hits = results.len();
@@ -492,23 +551,48 @@ impl Runner {
             }
         } else {
             let next = AtomicUsize::new(0);
+            let abort = AtomicBool::new(false);
+            let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
             let done: Mutex<Vec<(RunKey, RunResult)>> = Mutex::new(Vec::with_capacity(executed));
             let progress: Mutex<&mut (dyn FnMut(&str) + Send)> = Mutex::new(&mut progress);
             std::thread::scope(|s| {
                 for _ in 0..self.jobs.min(misses.len()) {
                     s.spawn(|| loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(e) = misses.get(i) else { break };
                         (progress.lock().expect("progress lock"))(&e.label);
-                        let r = self.execute(e);
-                        if let Some(c) = self.effective_cache() {
-                            c.store(&e.key, &r);
+                        // Isolate the panic so siblings finish their
+                        // in-flight runs (and cache them) instead of
+                        // having the scope tear the whole sweep down
+                        // with the results lost.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.execute(e)
+                        })) {
+                            Ok(r) => {
+                                if let Some(c) = self.effective_cache() {
+                                    c.store(&e.key, &r);
+                                }
+                                done.lock().expect("result lock").push((e.key, r));
+                            }
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                let mut slot = panicked.lock().expect("panic slot lock");
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
+                                break;
+                            }
                         }
-                        done.lock().expect("result lock").push((e.key, r));
                     });
                 }
             });
             results.extend(done.into_inner().expect("result lock"));
+            if let Some(payload) = panicked.into_inner().expect("panic slot lock") {
+                std::panic::resume_unwind(payload);
+            }
         }
 
         RunSet {
@@ -516,6 +600,201 @@ impl Runner {
             executed,
             cache_hits,
         }
+    }
+
+    /// Probes the cache for one entry (fault-injection hook included:
+    /// an armed `corrupt` fault targeting this entry's label flips
+    /// bytes in the cache file just before the read).
+    fn probe_cache(&self, e: &PlanEntry) -> CacheLookup {
+        let Some(cache) = self.effective_cache() else {
+            return CacheLookup::Miss;
+        };
+        #[cfg(feature = "fault-inject")]
+        if bw_fault::injected_cache_corruption(&e.label) {
+            let _ = bw_fault::corrupt_file(&cache.path_for(&e.key), bw_fault::armed_seed());
+        }
+        cache.load_checked(&e.key)
+    }
+
+    /// Executes every run in `plan` under the supervision policy
+    /// ([`Runner::supervised`]): each run is isolated with
+    /// `catch_unwind`, watched by a wall-clock deadline, retried with
+    /// backoff, and reported as a typed [`RunOutcome`] instead of
+    /// unwinding the sweep. Keys whose persistent failure count
+    /// reached the quarantine threshold are skipped outright.
+    ///
+    /// Healthy runs produce results identical to
+    /// [`run`](Runner::run) — supervision is pure bookkeeping around
+    /// the same deterministic simulations.
+    pub fn run_supervised(
+        &self,
+        plan: &RunPlan,
+        mut progress: impl FnMut(&str) + Send,
+    ) -> SupervisedRunSet {
+        let sup = self.supervision.clone();
+        let mut quarantine = match self.effective_cache() {
+            Some(c) => Quarantine::load(c.dir().join(QUARANTINE_FILE)),
+            None => Quarantine::ephemeral(),
+        };
+
+        let mut results = HashMap::with_capacity(plan.entries.len());
+        // Failures keyed by plan index so the report reads in plan
+        // order whatever the worker completion order.
+        let mut failures: Vec<(usize, RunFailure)> = Vec::new();
+        let mut misses: Vec<(usize, &PlanEntry)> = Vec::new();
+        let mut cache_hits = 0;
+        let mut quarantined = 0;
+        let mut corrupt_evicted = 0;
+
+        for (i, e) in plan.entries.iter().enumerate() {
+            if sup.quarantine_after > 0 {
+                if let Some(q) = quarantine.entry(e.key.digest()) {
+                    if q.failures >= sup.quarantine_after {
+                        quarantined += 1;
+                        failures.push((
+                            i,
+                            RunFailure {
+                                key: e.key,
+                                label: e.label.clone(),
+                                outcome: RunOutcome::Quarantined {
+                                    failures: q.failures,
+                                    last_error: q.last_error.clone(),
+                                },
+                            },
+                        ));
+                        continue;
+                    }
+                }
+            }
+            match self.probe_cache(e) {
+                CacheLookup::Hit(r) => {
+                    results.insert(e.key, *r);
+                    cache_hits += 1;
+                }
+                CacheLookup::Corrupt(path) => {
+                    // Self-heal (evict + re-execute) but still report:
+                    // a corrupted entry means something damaged the
+                    // results directory, and a silent repair would
+                    // hide it.
+                    if let Some(c) = self.effective_cache() {
+                        c.evict(&path);
+                    }
+                    corrupt_evicted += 1;
+                    failures.push((
+                        i,
+                        RunFailure {
+                            key: e.key,
+                            label: e.label.clone(),
+                            outcome: RunOutcome::CacheCorrupt { path },
+                        },
+                    ));
+                    misses.push((i, e));
+                }
+                CacheLookup::Miss => misses.push((i, e)),
+            }
+        }
+        let executed = misses.len();
+        let abort = Arc::new(AtomicBool::new(false));
+        let retries = AtomicUsize::new(0);
+
+        let attempt = |e: &PlanEntry| -> RunOutcome {
+            let (outcome, tries) =
+                attempt_run(&sup, &abort, |token| self.execute_ctl(e, Some(token)));
+            retries.fetch_add(tries as usize, Ordering::Relaxed);
+            if let RunOutcome::Ok(r) = &outcome {
+                if let Some(c) = self.effective_cache() {
+                    c.store(&e.key, r);
+                }
+            }
+            outcome
+        };
+
+        if self.jobs <= 1 || misses.len() <= 1 {
+            for (i, e) in &misses {
+                progress(&e.label);
+                match attempt(e) {
+                    RunOutcome::Ok(r) => {
+                        results.insert(e.key, *r);
+                    }
+                    outcome => failures.push((
+                        *i,
+                        RunFailure {
+                            key: e.key,
+                            label: e.label.clone(),
+                            outcome,
+                        },
+                    )),
+                }
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let done: Mutex<Vec<(usize, RunKey, String, RunOutcome)>> =
+                Mutex::new(Vec::with_capacity(executed));
+            let attempt = &attempt;
+            let progress: Mutex<&mut (dyn FnMut(&str) + Send)> = Mutex::new(&mut progress);
+            std::thread::scope(|s| {
+                for _ in 0..self.jobs.min(misses.len()) {
+                    s.spawn(|| loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((i, e)) = misses.get(slot) else {
+                            break;
+                        };
+                        (progress.lock().expect("progress lock"))(&e.label);
+                        let outcome = attempt(e);
+                        done.lock().expect("result lock").push((
+                            *i,
+                            e.key,
+                            e.label.clone(),
+                            outcome,
+                        ));
+                    });
+                }
+            });
+            for (i, key, label, outcome) in done.into_inner().expect("result lock") {
+                match outcome {
+                    RunOutcome::Ok(r) => {
+                        results.insert(key, *r);
+                    }
+                    outcome => failures.push((
+                        i,
+                        RunFailure {
+                            key,
+                            label,
+                            outcome,
+                        },
+                    )),
+                }
+            }
+        }
+
+        for (_, f) in &failures {
+            if f.outcome.is_terminal_failure()
+                && !matches!(f.outcome, RunOutcome::Quarantined { .. })
+            {
+                quarantine.record_failure(&f.key, &f.outcome);
+            }
+        }
+        quarantine.save();
+
+        failures.sort_by_key(|(i, _)| *i);
+        let set = SupervisedRunSet {
+            results,
+            failures: failures.into_iter().map(|(_, f)| f).collect(),
+            executed,
+            cache_hits,
+            quarantined,
+            corrupt_evicted,
+            retries: u32::try_from(retries.into_inner()).unwrap_or(u32::MAX),
+            supervision: sup,
+        };
+        #[cfg(feature = "audit")]
+        if let Some(sink) = &self.audit_sink {
+            let violations = crate::supervise::supervision_violations(plan, &set);
+            if !violations.is_empty() {
+                sink.lock().expect("audit sink lock").extend(violations);
+            }
+        }
+        set
     }
 }
 
@@ -526,20 +805,76 @@ impl Default for Runner {
     }
 }
 
+/// The result of probing the cache for one key.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// A valid entry was found.
+    Hit(Box<RunResult>),
+    /// No entry (or a stale-format entry, which a future store simply
+    /// replaces).
+    Miss,
+    /// An entry exists but failed validation — truncated, bit-flipped,
+    /// or undecodable. The caller should [`evict`](RunCache::evict)
+    /// the named file and re-execute.
+    Corrupt(PathBuf),
+}
+
+/// What [`RunCache::verify_dir`] found in a cache directory.
+#[derive(Debug, Default)]
+pub struct CacheAudit {
+    /// Entries that passed every check.
+    pub ok: usize,
+    /// Entries with an older (or newer) format version — harmless,
+    /// replaced on the next store of their key.
+    pub stale: usize,
+    /// Files that failed parsing, checksum, or identity validation.
+    pub corrupt: Vec<PathBuf>,
+    /// Leftover `.tmp` staging files from interrupted writers.
+    pub stray_tmp: Vec<PathBuf>,
+}
+
+impl CacheAudit {
+    /// `true` when nothing needs repair.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.stray_tmp.is_empty()
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ok, {} stale, {} corrupt, {} stray tmp",
+            self.ok,
+            self.stale,
+            self.corrupt.len(),
+            self.stray_tmp.len()
+        )
+    }
+}
+
 /// A persistent content-addressed store of completed runs.
 ///
 /// One JSON file per [`RunKey`] under the cache directory, named
-/// `<benchmark>-<key digest>.json`. Files carry a format version and
-/// the key's identity fields; a file that fails any check (or fails to
-/// parse) is treated as a miss and overwritten on the next store.
+/// `<benchmark>-<key digest>.json`. Each file is an outer envelope —
+/// format version, FNV-1a checksum, and the serialized identity +
+/// result payload as one string — so [`load_checked`] distinguishes a
+/// *stale* entry (old format version: silently a miss) from a
+/// *corrupt* one (truncation or bit damage: reported, evicted,
+/// re-executed).
 ///
-/// Serialization is deterministic — same key, byte-identical file —
-/// so concurrent writers racing on one key are harmless.
+/// Writes go through [`bw_types::fsutil::atomic_write`] (stage to a
+/// `.tmp` sibling, then rename): readers observe either the old
+/// complete file or the new complete file, and — because rename is
+/// atomic and serialization is deterministic (same key,
+/// byte-identical file) — concurrent writers racing on one key are
+/// harmless.
 ///
 /// With the `serde` feature disabled the cache is inert: [`load`]
 /// always misses and [`store`] does nothing.
 ///
 /// [`load`]: RunCache::load
+/// [`load_checked`]: RunCache::load_checked
 /// [`store`]: RunCache::store
 #[derive(Clone, Debug)]
 pub struct RunCache {
@@ -592,39 +927,83 @@ impl RunCache {
         self.dir.join(format!("{name}-{:016x}.json", key.digest()))
     }
 
-    /// Loads a cached result, or `None` on miss / mismatch / parse
-    /// failure.
+    /// Loads a cached result, or `None` on miss / stale format /
+    /// corruption (never panics, whatever the file contains).
     #[must_use]
-    #[cfg(feature = "serde")]
     pub fn load(&self, key: &RunKey) -> Option<RunResult> {
-        use serde::{Deserialize, Value};
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        let v = serde_json::parse_value_str(&text).ok()?;
-        if u32::from_value(v.get("format_version")?).ok()? != CACHE_FORMAT_VERSION {
-            return None;
+        match self.load_checked(key) {
+            CacheLookup::Hit(r) => Some(*r),
+            CacheLookup::Miss | CacheLookup::Corrupt(_) => None,
         }
-        if v.get("benchmark")? != &Value::Str(key.benchmark().to_string()) {
-            return None;
-        }
-        if v.get("predictor")? != &Value::Str(format!("{:?}", key.predictor())) {
-            return None;
-        }
-        if v.get("cfg_digest")? != &Value::Str(format!("{:016x}", key.cfg_digest())) {
-            return None;
-        }
-        RunResult::from_value(v.get("result")?).ok()
     }
 
-    /// Stores a result. Failures (e.g. an unwritable directory) are
-    /// swallowed: the cache is an accelerator, not a ledger.
+    /// Removes one cache file (best-effort; eviction of a file that is
+    /// already gone is a no-op).
+    pub fn evict(&self, path: &Path) {
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// Probes the cache for `key`, distinguishing a clean miss (no
+    /// file, or a stale format version) from a corrupt entry that
+    /// should be evicted and reported.
+    #[must_use]
+    #[cfg(feature = "serde")]
+    pub fn load_checked(&self, key: &RunKey) -> CacheLookup {
+        use serde::{Deserialize, Value};
+        let path = self.path_for(key);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return CacheLookup::Miss;
+        };
+        let corrupt = || CacheLookup::Corrupt(path.clone());
+        let Ok(v) = serde_json::parse_value_str(&text) else {
+            return corrupt();
+        };
+        let Some(version) = v
+            .get("format_version")
+            .and_then(|f| u32::from_value(f).ok())
+        else {
+            return corrupt();
+        };
+        if version != CACHE_FORMAT_VERSION {
+            // A recognizable envelope from another format generation:
+            // not damage, just a stale entry the next store replaces.
+            return CacheLookup::Miss;
+        }
+        let (Some(Value::Str(checksum)), Some(Value::Str(payload))) =
+            (v.get("checksum"), v.get("payload"))
+        else {
+            return corrupt();
+        };
+        if *checksum != format!("{:016x}", fnv1a(payload.as_bytes())) {
+            return corrupt();
+        }
+        let Ok(p) = serde_json::parse_value_str(payload) else {
+            return corrupt();
+        };
+        if p.get("benchmark") != Some(&Value::Str(key.benchmark().to_string()))
+            || p.get("predictor") != Some(&Value::Str(format!("{:?}", key.predictor())))
+            || p.get("cfg_digest") != Some(&Value::Str(format!("{:016x}", key.cfg_digest())))
+        {
+            // Identity mismatch under this key's digest: treat as a
+            // miss (the digest collision would be astronomically rare;
+            // a hand-renamed file lands here too).
+            return CacheLookup::Miss;
+        }
+        match p.get("result").map(RunResult::from_value) {
+            Some(Ok(r)) => CacheLookup::Hit(Box::new(r)),
+            _ => corrupt(),
+        }
+    }
+
+    /// Stores a result. The write is atomic (staged `.tmp` sibling +
+    /// rename), so a reader never observes a torn entry and an
+    /// interrupted writer damages nothing. Failures (e.g. an
+    /// unwritable directory) are swallowed: the cache is an
+    /// accelerator, not a ledger.
     #[cfg(feature = "serde")]
     pub fn store(&self, key: &RunKey, result: &RunResult) {
         use serde::{Serialize, Value};
-        if std::fs::create_dir_all(&self.dir).is_err() {
-            return;
-        }
-        let v = Value::Obj(vec![
-            ("format_version".into(), CACHE_FORMAT_VERSION.to_value()),
+        let payload = Value::Obj(vec![
             ("benchmark".into(), Value::Str(key.benchmark().to_string())),
             (
                 "predictor".into(),
@@ -636,21 +1015,122 @@ impl RunCache {
             ),
             ("result".into(), result.to_value()),
         ]);
+        let Ok(payload_text) = serde_json::to_string(&payload) else {
+            return;
+        };
+        // The checksum covers the payload's exact bytes (stored as one
+        // JSON string), so verification never depends on float
+        // re-canonicalization.
+        let v = Value::Obj(vec![
+            ("format_version".into(), CACHE_FORMAT_VERSION.to_value()),
+            (
+                "checksum".into(),
+                Value::Str(format!("{:016x}", fnv1a(payload_text.as_bytes()))),
+            ),
+            ("payload".into(), Value::Str(payload_text)),
+        ]);
         if let Ok(text) = serde_json::to_string_pretty(&v) {
-            let _ = std::fs::write(self.path_for(key), text);
+            let _ = bw_types::fsutil::atomic_write(&self.path_for(key), text.as_bytes());
         }
     }
 
-    /// Loads a cached result — inert without the `serde` feature.
+    /// Validates every file in the cache directory: JSON envelope,
+    /// checksum, payload decode, and that the file name's digest stem
+    /// matches the identity recorded inside. Also reports stray `.tmp`
+    /// staging files. A missing directory is an empty (clean) cache.
+    #[must_use]
+    #[cfg(feature = "serde")]
+    pub fn verify_dir(&self) -> CacheAudit {
+        use serde::{Deserialize, Value};
+        let mut audit = CacheAudit::default();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return audit;
+        };
+        let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort();
+        for path in paths {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if name == QUARANTINE_FILE || path.is_dir() {
+                continue;
+            }
+            if name.ends_with(".tmp") {
+                audit.stray_tmp.push(path);
+                continue;
+            }
+            let valid = (|| -> Option<bool> {
+                let text = std::fs::read_to_string(&path).ok()?;
+                let v = serde_json::parse_value_str(&text).ok()?;
+                let version = u32::from_value(v.get("format_version")?).ok()?;
+                if version != CACHE_FORMAT_VERSION {
+                    return Some(false); // stale, not corrupt
+                }
+                let (Value::Str(checksum), Value::Str(payload)) =
+                    (v.get("checksum")?, v.get("payload")?)
+                else {
+                    return None;
+                };
+                if *checksum != format!("{:016x}", fnv1a(payload.as_bytes())) {
+                    return None;
+                }
+                let p = serde_json::parse_value_str(payload).ok()?;
+                let benchmark = String::from_value(p.get("benchmark")?).ok()?;
+                let predictor = String::from_value(p.get("predictor")?).ok()?;
+                let cfg_digest = String::from_value(p.get("cfg_digest")?).ok()?;
+                RunResult::from_value(p.get("result")?).ok()?;
+                // The file stem must carry the digest of the identity
+                // inside — a renamed or cross-copied file would
+                // otherwise satisfy a key it does not answer.
+                let digest = fnv1a(format!("{benchmark}|{predictor}|{cfg_digest}").as_bytes());
+                Some(name.ends_with(&format!("-{digest:016x}.json")))
+            })();
+            match valid {
+                Some(true) => audit.ok += 1,
+                Some(false) => audit.stale += 1,
+                None => audit.corrupt.push(path),
+            }
+        }
+        audit
+    }
+
+    /// Verifies the directory and evicts everything damaged (corrupt
+    /// entries and stray `.tmp` staging files), returning the audit
+    /// that drove the evictions. Stale-format entries are left alone —
+    /// they are replaced lazily on their next store.
+    #[cfg(feature = "serde")]
+    pub fn repair(&self) -> CacheAudit {
+        let audit = self.verify_dir();
+        for path in audit.corrupt.iter().chain(&audit.stray_tmp) {
+            self.evict(path);
+        }
+        audit
+    }
+
+    /// Probes the cache — inert without the `serde` feature.
     #[must_use]
     #[cfg(not(feature = "serde"))]
-    pub fn load(&self, _key: &RunKey) -> Option<RunResult> {
-        None
+    pub fn load_checked(&self, _key: &RunKey) -> CacheLookup {
+        CacheLookup::Miss
     }
 
     /// Stores a result — inert without the `serde` feature.
     #[cfg(not(feature = "serde"))]
     pub fn store(&self, _key: &RunKey, _result: &RunResult) {}
+
+    /// Verifies the directory — inert without the `serde` feature.
+    #[must_use]
+    #[cfg(not(feature = "serde"))]
+    pub fn verify_dir(&self) -> CacheAudit {
+        CacheAudit::default()
+    }
+
+    /// Repairs the directory — inert without the `serde` feature.
+    #[cfg(not(feature = "serde"))]
+    pub fn repair(&self) -> CacheAudit {
+        CacheAudit::default()
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,9 @@ use bw_power::{BpredOptions, BpredPower, BpredTotals, EnergyReport};
 use bw_predictors::PredictorConfig;
 use bw_trace::{Trace, TraceReader, REPLAY_SLACK_INSTS};
 use bw_uarch::{Machine, SimStats, UarchConfig};
-use bw_workload::BenchmarkModel;
+use bw_workload::{BenchmarkModel, InstSource};
+
+use crate::supervise::{CancelToken, Cancelled};
 
 /// Configuration of one simulation run.
 ///
@@ -410,6 +412,79 @@ impl RunResult {
     }
 }
 
+/// Committed/fast-forwarded instructions between cancellation polls in
+/// the chunked drive loop. Large enough that the poll is noise
+/// (hundreds of thousands of ticks per check), small enough that a
+/// watchdog deadline is observed within a fraction of a second.
+pub(crate) const CANCEL_CHECK_INSTS: u64 = 1 << 18;
+
+/// Fault-injection hooks consulted at the start of the drive loop
+/// (`fault-inject` feature): an armed panic fault unwinds here with
+/// [`bw_fault::PANIC_MARKER`] in the payload; an armed stall sleeps in
+/// short slices — still honouring the cancel token, so a configured
+/// watchdog converts the stall into a timeout.
+#[cfg(feature = "fault-inject")]
+fn fault_hooks(token: Option<&CancelToken>) -> Result<(), Cancelled> {
+    if bw_fault::injected_panic("sim-loop") {
+        panic!("{} (simulation loop)", bw_fault::PANIC_MARKER);
+    }
+    if let Some(d) = bw_fault::injected_stall("sim-loop") {
+        let until = std::time::Instant::now() + d;
+        while std::time::Instant::now() < until {
+            if token.is_some_and(CancelToken::is_cancelled) {
+                return Err(Cancelled);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    Ok(())
+}
+
+/// Drives one constructed machine through warmup + measurement,
+/// polling `token` every [`CANCEL_CHECK_INSTS`] instructions.
+///
+/// Chunking is observationally invisible: the measured phase computes
+/// its absolute commit target once and each chunk stops at
+/// `min(target, committed + CANCEL_CHECK_INSTS)`, so the machine ticks
+/// through exactly the same cycle sequence as a single
+/// [`Machine::run`] call (ticks carry no per-call state). With no
+/// token the polls are branch-not-taken noise.
+///
+/// # Errors
+///
+/// [`Cancelled`] when `token` reports cancellation (flag or watchdog
+/// deadline) before the run completes.
+fn drive<S: InstSource>(
+    machine: &mut Machine<'_, S>,
+    cfg: &SimConfig,
+    token: Option<&CancelToken>,
+) -> Result<(), Cancelled> {
+    let check = |t: Option<&CancelToken>| -> Result<(), Cancelled> {
+        if t.is_some_and(CancelToken::is_cancelled) {
+            return Err(Cancelled);
+        }
+        Ok(())
+    };
+    #[cfg(feature = "fault-inject")]
+    fault_hooks(token)?;
+    let mut left = cfg.warmup_insts;
+    loop {
+        check(token)?;
+        let step = left.min(CANCEL_CHECK_INSTS);
+        machine.warmup(step);
+        left -= step;
+        if left == 0 {
+            break;
+        }
+    }
+    let target = machine.stats().committed + cfg.measure_insts;
+    while machine.stats().committed < target {
+        check(token)?;
+        machine.run((target - machine.stats().committed).min(CANCEL_CHECK_INSTS));
+    }
+    Ok(())
+}
+
 /// Runs one benchmark under one predictor configuration.
 ///
 /// Builds the program, fast-forwards `cfg.warmup_insts` trace-style,
@@ -421,20 +496,36 @@ pub fn simulate(
     predictor: PredictorConfig,
     cfg: &SimConfig,
 ) -> RunResult {
+    simulate_ctl(model, predictor, cfg, None).expect("no token, cannot cancel")
+}
+
+/// Cancellable form of [`simulate`], used by the supervised runner:
+/// the drive loop polls `token` every [`CANCEL_CHECK_INSTS`]
+/// instructions and abandons the run when it fires. With `token`
+/// `None` the result is identical to [`simulate`].
+///
+/// # Errors
+///
+/// [`Cancelled`] when the token fired before the run completed.
+pub fn simulate_ctl(
+    model: &'static BenchmarkModel,
+    predictor: PredictorConfig,
+    cfg: &SimConfig,
+    token: Option<&CancelToken>,
+) -> Result<RunResult, Cancelled> {
     let program = model.build_program(cfg.seed);
     let mut machine = Machine::with_power(
         &cfg.uarch, &program, model, cfg.seed, predictor, cfg.kind, cfg.banked, &cfg.tech,
     );
-    machine.warmup(cfg.warmup_insts);
-    machine.run(cfg.measure_insts);
-    RunResult {
+    drive(&mut machine, cfg, token)?;
+    Ok(RunResult {
         benchmark: model.name.to_string(),
         predictor: predictor.build().describe(),
         stats: *machine.stats(),
         energy: machine.power_report(),
         totals: machine.bpred_totals(),
         bpred_power: machine.bpred_power().clone(),
-    }
+    })
 }
 
 /// Like [`simulate`], but with the runtime sanitizer enabled: every
@@ -451,13 +542,27 @@ pub fn simulate_audited(
     predictor: PredictorConfig,
     cfg: &SimConfig,
 ) -> (RunResult, Vec<bw_uarch::audit::Violation>) {
+    simulate_audited_ctl(model, predictor, cfg, None).expect("no token, cannot cancel")
+}
+
+/// Cancellable form of [`simulate_audited`].
+///
+/// # Errors
+///
+/// [`Cancelled`] when the token fired before the run completed.
+#[cfg(feature = "audit")]
+pub fn simulate_audited_ctl(
+    model: &'static BenchmarkModel,
+    predictor: PredictorConfig,
+    cfg: &SimConfig,
+    token: Option<&CancelToken>,
+) -> Result<(RunResult, Vec<bw_uarch::audit::Violation>), Cancelled> {
     let program = model.build_program(cfg.seed);
     let mut machine = Machine::with_power(
         &cfg.uarch, &program, model, cfg.seed, predictor, cfg.kind, cfg.banked, &cfg.tech,
     );
     machine.enable_audit(model.name);
-    machine.warmup(cfg.warmup_insts);
-    machine.run(cfg.measure_insts);
+    drive(&mut machine, cfg, token)?;
     let result = RunResult {
         benchmark: model.name.to_string(),
         predictor: predictor.build().describe(),
@@ -466,7 +571,7 @@ pub fn simulate_audited(
         totals: machine.bpred_totals(),
         bpred_power: machine.bpred_power().clone(),
     };
-    (result, machine.take_audit_violations())
+    Ok((result, machine.take_audit_violations()))
 }
 
 /// Why a trace-driven run could not start.
@@ -537,6 +642,22 @@ pub fn simulate_trace(
     predictor: PredictorConfig,
     cfg: &SimConfig,
 ) -> Result<RunResult, TraceRunError> {
+    Ok(simulate_trace_ctl(trace, predictor, cfg, None)?.expect("no token, cannot cancel"))
+}
+
+/// Cancellable form of [`simulate_trace`]: the budget check stays an
+/// outer [`TraceRunError`]; the inner result reports cancellation.
+///
+/// # Errors
+///
+/// [`TraceRunError::BudgetExceedsTrace`] if the recording is shorter
+/// than warmup + measure (+ in-flight slack).
+pub fn simulate_trace_ctl(
+    trace: &Trace,
+    predictor: PredictorConfig,
+    cfg: &SimConfig,
+    token: Option<&CancelToken>,
+) -> Result<Result<RunResult, Cancelled>, TraceRunError> {
     check_trace_budget(trace, cfg)?;
     let reader = TraceReader::new(trace);
     let mut machine = Machine::with_source(
@@ -549,16 +670,17 @@ pub fn simulate_trace(
         cfg.banked,
         &cfg.tech,
     );
-    machine.warmup(cfg.warmup_insts);
-    machine.run(cfg.measure_insts);
-    Ok(RunResult {
+    if drive(&mut machine, cfg, token).is_err() {
+        return Ok(Err(Cancelled));
+    }
+    Ok(Ok(RunResult {
         benchmark: trace.meta().name.clone(),
         predictor: predictor.build().describe(),
         stats: *machine.stats(),
         energy: machine.power_report(),
         totals: machine.bpred_totals(),
         bpred_power: machine.bpred_power().clone(),
-    })
+    }))
 }
 
 /// Like [`simulate_trace`], but with the runtime sanitizer enabled.
@@ -572,6 +694,22 @@ pub fn simulate_trace_audited(
     predictor: PredictorConfig,
     cfg: &SimConfig,
 ) -> Result<(RunResult, Vec<bw_uarch::audit::Violation>), TraceRunError> {
+    Ok(simulate_trace_audited_ctl(trace, predictor, cfg, None)?.expect("no token, cannot cancel"))
+}
+
+/// Cancellable form of [`simulate_trace_audited`].
+///
+/// # Errors
+///
+/// Same as [`simulate_trace_ctl`].
+#[cfg(feature = "audit")]
+#[allow(clippy::type_complexity)] // mirror of simulate_trace_ctl with audit evidence
+pub fn simulate_trace_audited_ctl(
+    trace: &Trace,
+    predictor: PredictorConfig,
+    cfg: &SimConfig,
+    token: Option<&CancelToken>,
+) -> Result<Result<(RunResult, Vec<bw_uarch::audit::Violation>), Cancelled>, TraceRunError> {
     check_trace_budget(trace, cfg)?;
     let reader = TraceReader::new(trace);
     let mut machine = Machine::with_source(
@@ -585,8 +723,9 @@ pub fn simulate_trace_audited(
         &cfg.tech,
     );
     machine.enable_audit(&trace.meta().name);
-    machine.warmup(cfg.warmup_insts);
-    machine.run(cfg.measure_insts);
+    if drive(&mut machine, cfg, token).is_err() {
+        return Ok(Err(Cancelled));
+    }
     let result = RunResult {
         benchmark: trace.meta().name.clone(),
         predictor: predictor.build().describe(),
@@ -595,7 +734,7 @@ pub fn simulate_trace_audited(
         totals: machine.bpred_totals(),
         bpred_power: machine.bpred_power().clone(),
     };
-    Ok((result, machine.take_audit_violations()))
+    Ok(Ok((result, machine.take_audit_violations())))
 }
 
 /// Records `model` into a trace sized for `cfg`'s budget (warmup +

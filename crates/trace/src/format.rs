@@ -347,13 +347,15 @@ impl Trace {
         })
     }
 
-    /// Writes the trace to `path`.
+    /// Writes the trace to `path` atomically (staged `.tmp` sibling +
+    /// rename), so a crashed or interrupted writer never leaves a
+    /// truncated `.bwt` behind.
     ///
     /// # Errors
     ///
     /// [`TraceError::Io`] on filesystem failure.
     pub fn save(&self, path: &Path) -> Result<(), TraceError> {
-        std::fs::write(path, self.to_bytes())
+        bw_types::fsutil::atomic_write(path, &self.to_bytes())
             .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))
     }
 

@@ -22,6 +22,13 @@ pub struct TraceReader<'t> {
     ghist: u64,
     call_stack: Vec<Addr>,
     insts: u64,
+    /// Instructions the stream will actually deliver: the recording's
+    /// length, or less when an armed `trunc` fault (`fault-inject`
+    /// feature) simulates a truncated file.
+    limit: u64,
+    /// `true` when `limit` came from fault injection, so the
+    /// exhaustion panic carries the injection marker.
+    injected: bool,
     cond: BitRunCursor<'t>,
     indirect: DeltaCursor<'t>,
     data: DeltaCursor<'t>,
@@ -31,12 +38,22 @@ impl<'t> TraceReader<'t> {
     /// Starts replay at the trace's recorded entry point.
     #[must_use]
     pub fn new(trace: &'t Trace) -> Self {
+        let recorded = trace.meta().insts;
+        #[cfg(feature = "fault-inject")]
+        let (limit, injected) = match bw_fault::injected_trace_truncation(&trace.meta().name) {
+            Some(n) => (n.min(recorded), true),
+            None => (recorded, false),
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let (limit, injected) = (recorded, false);
         TraceReader {
             trace,
             pc: trace.meta().entry,
             ghist: 0,
             call_stack: Vec::with_capacity(MAX_CALL_DEPTH),
             insts: 0,
+            limit,
+            injected,
             cond: trace.cond_cursor(),
             indirect: trace.ind_cursor(),
             data: trace.data_cursor(),
@@ -46,7 +63,7 @@ impl<'t> TraceReader<'t> {
     /// Instructions left before the recording runs out.
     #[must_use]
     pub fn remaining(&self) -> u64 {
-        self.trace.meta().insts.saturating_sub(self.insts)
+        self.limit.saturating_sub(self.insts)
     }
 }
 
@@ -69,10 +86,16 @@ impl InstSource for TraceReader<'_> {
 
     fn step(&mut self) -> ExecStep {
         assert!(
-            self.insts < self.trace.meta().insts,
-            "trace '{}' exhausted after {} instructions; record a longer trace",
+            self.insts < self.limit,
+            "trace '{}' exhausted after {} instructions; record a longer trace{}",
             self.trace.meta().name,
             self.insts,
+            if self.injected {
+                // Keep in sync with bw_fault::TRACE_MARKER.
+                " (bw-fault: injected trace truncation)"
+            } else {
+                ""
+            },
         );
         let inst = self.trace.program().decode(self.pc);
         self.insts += 1;

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod fsutil;
 mod inst;
 mod outcome;
 

@@ -151,6 +151,13 @@ pub fn rules() -> Vec<Rule> {
             check: check_unit_suffix,
         },
         Rule {
+            name: "raw-fs-write",
+            summary: "no bare `std::fs::write` outside the atomic-write helper \
+                      (crates/types/src/fsutil.rs); use bw_types::fsutil::atomic_write so \
+                      readers never observe a truncated file",
+            check: check_raw_fs_write,
+        },
+        Rule {
             name: "forbid-unsafe",
             summary: "every workspace crate root must carry #![forbid(unsafe_code)]",
             check: check_forbid_unsafe,
@@ -606,6 +613,31 @@ fn check_unit_suffix(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+fn check_raw_fs_write(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.kind == FileKind::Test {
+        return; // tests fabricate corrupt/partial files on purpose
+    }
+    if sf.rel == "crates/types/src/fsutil.rs" {
+        return; // the atomic-write helper's own staging write
+    }
+    for (idx, line) in sf.code.iter().enumerate() {
+        if sf.in_tests[idx] {
+            continue;
+        }
+        if line.contains("fs::write") {
+            rule.push(
+                sf,
+                idx,
+                "bare `std::fs::write` is not atomic (a crash mid-write leaves a truncated \
+                 file); use `bw_types::fsutil::atomic_write`, or mark deliberate damage \
+                 with `// lint: allow(raw-fs-write)`"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
 fn check_forbid_unsafe(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
     if !sf.is_crate_root() {
         return;
@@ -836,6 +868,42 @@ mod tests {
         )
         .iter()
         .all(|v| v.rule != "unit-suffix"));
+    }
+
+    #[test]
+    fn raw_fs_write_rule() {
+        // Library and binary code are both flagged.
+        let v = lint_one(
+            "crates/core/src/export.rs",
+            "std::fs::write(path, data).expect(\"io\");\n",
+        );
+        assert_eq!(names(&v), vec!["raw-fs-write"]);
+        let v = lint_one(
+            "crates/bench/src/bin/fig05.rs",
+            "fs::write(p, s).unwrap();\n",
+        );
+        assert_eq!(names(&v), vec!["raw-fs-write"]);
+        // Suppressible; the helper's home, tests, and test mods are exempt.
+        assert!(lint_one(
+            "crates/core/src/export.rs",
+            "std::fs::write(p, s)?; // lint: allow(raw-fs-write)\n",
+        )
+        .is_empty());
+        assert!(lint_one(
+            "crates/types/src/fsutil.rs",
+            "std::fs::write(&tmp, bytes)?;\n"
+        )
+        .is_empty());
+        assert!(lint_one(
+            "tests/run_cache.rs",
+            "std::fs::write(&p, \"x\").unwrap();\n"
+        )
+        .is_empty());
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn t() { std::fs::write(p, s); }\n}\n";
+        assert!(lint_one("crates/core/src/export.rs", src).is_empty());
+        // Mentions in comments/strings don't count; atomic_write passes.
+        let src = "// std::fs::write is banned\nbw_types::fsutil::atomic_write(p, b)?;\n";
+        assert!(lint_one("crates/core/src/export.rs", src).is_empty());
     }
 
     #[test]
