@@ -14,14 +14,40 @@ fn drive(cfg: PredictorConfig, n: u64) -> u64 {
     for i in 0..n {
         let pc = Addr(0x1000 + (i % 509) * 8);
         let actual = Outcome::from_bool(i % 3 != 0);
-        let (pred, ck) = p.lookup(pc);
+        let bw_predictors::LookupResult { pred, ckpt } = p.lookup(pc);
         if pred.outcome != actual {
-            p.repair(&ck);
+            p.repair(&ckpt);
             p.spec_push(pc, actual);
         } else {
             correct += 1;
         }
         p.commit(pc, actual, &pred);
+    }
+    correct
+}
+
+/// Drives the same synthetic branches through the batched warm-path
+/// surface, 256 per batch.
+fn drive_batched(cfg: PredictorConfig, n: u64) -> u64 {
+    let mut p = cfg.build();
+    let mut batch = bw_predictors::BranchBatch::with_capacity(256);
+    let mut preds = Vec::with_capacity(256);
+    let mut correct = 0;
+    let mut i = 0u64;
+    while i < n {
+        batch.clear();
+        preds.clear();
+        for _ in 0..256.min(n - i) {
+            batch.push(Addr(0x1000 + (i % 509) * 8), Outcome::from_bool(i % 3 != 0));
+            i += 1;
+        }
+        p.lookup_batch(&batch, &mut preds);
+        correct += batch
+            .iter()
+            .zip(&preds)
+            .filter(|((_, actual), pred)| pred.outcome == *actual)
+            .count() as u64;
+        p.commit_batch(&batch, &preds);
     }
     correct
 }
@@ -36,6 +62,9 @@ fn bench_predictors(c: &mut Criterion) {
     ] {
         g.bench_function(format!("protocol_{}", p.label()), |b| {
             b.iter(|| black_box(drive(p.config(), black_box(1000))));
+        });
+        g.bench_function(format!("batched_{}", p.label()), |b| {
+            b.iter(|| black_box(drive_batched(p.config(), black_box(1000))));
         });
     }
 

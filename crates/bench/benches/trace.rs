@@ -3,7 +3,7 @@
 //! behaviour-automaton and hash-draw work, so it should win), plus
 //! the codec's encode/decode throughput.
 
-use bw_core::trace::{record_model, TraceReader};
+use bw_core::trace::{record_model, DecodedTrace, TraceReader};
 use bw_workload::{benchmark, InstSource};
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -37,6 +37,22 @@ fn bench_trace(c: &mut Criterion) {
             }
             black_box(ctis)
         });
+    });
+
+    g.bench_function("replay_decoded_100k_insts", |b| {
+        let decoded = DecodedTrace::new(&trace);
+        b.iter(|| {
+            let mut r = decoded.reader();
+            let mut ctis = 0u64;
+            for _ in 0..INSTS {
+                ctis += u64::from(r.step().control.is_some());
+            }
+            black_box(ctis)
+        });
+    });
+
+    g.bench_function("decode_to_bitcode", |b| {
+        b.iter(|| black_box(DecodedTrace::new(&trace).decoded_bytes()));
     });
 
     g.bench_function("record_100k_insts", |b| {

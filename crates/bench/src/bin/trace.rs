@@ -188,6 +188,13 @@ fn cmd_info(args: &[String]) {
     println!("indirect targets  {}", trace.indirect_count());
     println!("data addresses    {}", trace.data_count());
     println!("content digest    {:016x}", trace.digest());
+    // The decoded bitcode form the replay hot path actually runs on:
+    // one-time decode cost and flat-array footprint.
+    let t0 = std::time::Instant::now();
+    let decoded = bw_core::trace::DecodedTrace::new(&trace);
+    let decode_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("decoded bitcode   {} bytes", decoded.decoded_bytes());
+    println!("decode time       {decode_ms:.2} ms (one-time, shared by all readers)");
     // A quick liveness check: replay the first few thousand steps so a
     // corrupt-but-well-formed file fails here rather than mid-figure.
     let mut reader = TraceReader::new(&trace);
@@ -195,7 +202,11 @@ fn cmd_info(args: &[String]) {
     for _ in 0..probe {
         let _ = bw_workload::InstSource::step(&mut reader);
     }
-    println!("replay probe      ok ({probe} insts)");
+    let mut fast = decoded.reader();
+    for _ in 0..probe {
+        let _ = bw_workload::InstSource::step(&mut fast);
+    }
+    println!("replay probe      ok ({probe} insts, streaming + decoded)");
 }
 
 fn cmd_import(args: &[String]) {

@@ -119,15 +119,15 @@ pub fn trace_stats(model: &BenchmarkModel, insts: u64, seed: u64) -> TraceStats 
                 let actual = step.control.expect("resolved").outcome;
                 let pc = step.inst.pc;
                 for (pred, ok) in [(&mut bimod, &mut b_ok), (&mut gshare, &mut g_ok)] {
-                    let (p, ck) = pred.lookup(pc);
-                    if p.outcome != actual {
-                        pred.repair(&ck);
+                    let r = pred.lookup(pc);
+                    if r.pred.outcome != actual {
+                        pred.repair(&r.ckpt);
                         pred.spec_push(pc, actual);
                     }
-                    if i > warmup && p.outcome == actual {
+                    if i > warmup && r.pred.outcome == actual {
                         *ok += 1;
                     }
-                    pred.commit(pc, actual, &p);
+                    pred.commit(pc, actual, &r.pred);
                 }
                 if i > warmup {
                     scored += 1;

@@ -4,7 +4,7 @@
 use bw_arrays::{ModelKind, TechParams};
 use bw_power::{BpredOptions, BpredPower, BpredTotals, EnergyReport};
 use bw_predictors::PredictorConfig;
-use bw_trace::{Trace, TraceReader, REPLAY_SLACK_INSTS};
+use bw_trace::{DecodedTrace, Trace, REPLAY_SLACK_INSTS};
 use bw_uarch::{Machine, SimStats, UarchConfig};
 use bw_workload::{BenchmarkModel, InstSource};
 
@@ -629,6 +629,13 @@ pub fn check_trace_budget(trace: &Trace, cfg: &SimConfig) -> Result<(), TraceRun
 /// byte-identical [`SimStats`] to generating that workload, while
 /// skipping all behaviour-automaton and hash-draw work.
 ///
+/// The trace is decoded once up front into its bitcode form
+/// ([`DecodedTrace`]) and replayed through the zero-copy
+/// [`DecodedReader`](bw_trace::DecodedReader), so the hot loop pays no
+/// per-record varint/RLE work; the decoded form is guaranteed (and
+/// tested in `bw-trace`) to produce the same step stream as the
+/// streaming [`TraceReader`](bw_trace::TraceReader).
+///
 /// `cfg.seed` does not influence replay (the stream is frozen in the
 /// trace), but it still participates in cache keying via the config
 /// digest.
@@ -659,11 +666,11 @@ pub fn simulate_trace_ctl(
     token: Option<&CancelToken>,
 ) -> Result<Result<RunResult, Cancelled>, TraceRunError> {
     check_trace_budget(trace, cfg)?;
-    let reader = TraceReader::new(trace);
+    let decoded = DecodedTrace::new(trace);
     let mut machine = Machine::with_source(
         &cfg.uarch,
         trace.program(),
-        reader,
+        decoded.reader(),
         trace.meta().working_set,
         predictor,
         cfg.kind,
@@ -711,11 +718,11 @@ pub fn simulate_trace_audited_ctl(
     token: Option<&CancelToken>,
 ) -> Result<Result<(RunResult, Vec<bw_uarch::audit::Violation>), Cancelled>, TraceRunError> {
     check_trace_budget(trace, cfg)?;
-    let reader = TraceReader::new(trace);
+    let decoded = DecodedTrace::new(trace);
     let mut machine = Machine::with_source(
         &cfg.uarch,
         trace.program(),
-        reader,
+        decoded.reader(),
         trace.meta().working_set,
         predictor,
         cfg.kind,

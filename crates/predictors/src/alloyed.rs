@@ -11,8 +11,8 @@
 
 use crate::counter::SatCounter;
 use crate::direction::{
-    log2_exact, pc_bits, DirectionPredictor, HistCheckpoint, PredMeta, Prediction, Storage,
-    StorageRole,
+    log2_exact, pc_bits, DirectionPredictor, HistCheckpoint, LookupResult, PredMeta, Prediction,
+    Storage, StorageRole,
 };
 use bw_arrays::ArraySpec;
 use bw_types::{Addr, Outcome};
@@ -84,7 +84,7 @@ impl TwoLevelAlloyed {
 }
 
 impl DirectionPredictor for TwoLevelAlloyed {
-    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+    fn lookup(&mut self, pc: Addr) -> LookupResult {
         let ghist = self.ghr;
         let bi = self.bht_index(pc);
         let lhist = self.bht[bi as usize];
@@ -95,8 +95,8 @@ impl DirectionPredictor for TwoLevelAlloyed {
         };
         self.ghr = (self.ghr << 1) | outcome.as_bit();
         self.bht[bi as usize] = (lhist << 1) | outcome.as_bit() as u32;
-        (
-            Prediction {
+        LookupResult {
+            pred: Prediction {
                 outcome,
                 meta: PredMeta {
                     ghist,
@@ -106,7 +106,7 @@ impl DirectionPredictor for TwoLevelAlloyed {
                 components_agree: None,
             },
             ckpt,
-        )
+        }
     }
 
     fn predict_nonspec(&self, pc: Addr) -> Prediction {
@@ -132,16 +132,27 @@ impl DirectionPredictor for TwoLevelAlloyed {
         }
     }
 
-    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> HistCheckpoint {
+    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> LookupResult {
+        let ghist = self.ghr;
         let bi = self.bht_index(pc);
         let old = self.bht[bi as usize];
-        let ckpt = HistCheckpoint {
-            ghr_before: self.ghr,
-            local_before: Some((bi, old)),
-        };
         self.ghr = (self.ghr << 1) | outcome.as_bit();
         self.bht[bi as usize] = (old << 1) | outcome.as_bit() as u32;
-        ckpt
+        LookupResult {
+            pred: Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist,
+                    lhist: old,
+                    bht_index: bi,
+                },
+                components_agree: None,
+            },
+            ckpt: HistCheckpoint {
+                ghr_before: ghist,
+                local_before: Some((bi, old)),
+            },
+        }
     }
 
     fn commit(&mut self, pc: Addr, actual: Outcome, pred: &Prediction) {
@@ -193,7 +204,7 @@ mod tests {
     fn drive(p: &mut dyn DirectionPredictor, seq: &[(Addr, Outcome)], warmup: usize) -> f64 {
         let (mut correct, mut scored) = (0usize, 0usize);
         for (i, &(pc, actual)) in seq.iter().enumerate() {
-            let (pred, ckpt) = p.lookup(pc);
+            let LookupResult { pred, ckpt } = p.lookup(pc);
             if pred.outcome != actual {
                 p.repair(&ckpt);
                 p.spec_push(pc, actual);
@@ -245,7 +256,7 @@ mod tests {
         let score = |p: &mut dyn DirectionPredictor| {
             let (mut ok, mut n) = (0, 0);
             for (i, &(pc, actual)) in seq.iter().enumerate() {
-                let (pred, ck) = p.lookup(pc);
+                let LookupResult { pred, ckpt: ck } = p.lookup(pc);
                 if pred.outcome != actual {
                     p.repair(&ck);
                     p.spec_push(pc, actual);
@@ -279,8 +290,7 @@ mod tests {
         let bht = p.bht.clone();
         let mut cks = Vec::new();
         for i in 0..10u64 {
-            let (_, ck) = p.lookup(Addr(0x10 + i * 4));
-            cks.push(ck);
+            cks.push(p.lookup(Addr(0x10 + i * 4)).ckpt);
         }
         for ck in cks.iter().rev() {
             p.repair(ck);

@@ -2,8 +2,8 @@
 
 use crate::counter::SatCounter;
 use crate::direction::{
-    log2_exact, pc_bits, DirectionPredictor, HistCheckpoint, PredMeta, Prediction, Storage,
-    StorageRole,
+    log2_exact, pc_bits, BranchBatch, DirectionPredictor, HistCheckpoint, LookupResult, PredMeta,
+    Prediction, Storage, StorageRole,
 };
 use bw_arrays::ArraySpec;
 use bw_types::{Addr, Outcome};
@@ -24,10 +24,10 @@ use bw_types::{Addr, Outcome};
 ///
 /// let mut p = Bimodal::new(4096);
 /// let pc = Addr(0x1000);
-/// let (pred, _) = p.lookup(pc);
+/// let pred = p.lookup(pc).pred;
 /// p.commit(pc, Outcome::Taken, &pred);
 /// p.commit(pc, Outcome::Taken, &pred);
-/// assert!(p.lookup(pc).0.outcome.is_taken());
+/// assert!(p.lookup(pc).pred.outcome.is_taken());
 /// ```
 #[derive(Clone, Debug)]
 pub struct Bimodal {
@@ -62,16 +62,16 @@ impl Bimodal {
 }
 
 impl DirectionPredictor for Bimodal {
-    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+    fn lookup(&mut self, pc: Addr) -> LookupResult {
         let outcome = self.pht[self.index(pc)].predict();
-        (
-            Prediction {
+        LookupResult {
+            pred: Prediction {
                 outcome,
                 meta: PredMeta::default(),
                 components_agree: None,
             },
-            HistCheckpoint::default(),
-        )
+            ckpt: HistCheckpoint::default(),
+        }
     }
 
     fn predict_nonspec(&self, pc: Addr) -> Prediction {
@@ -87,13 +87,46 @@ impl DirectionPredictor for Bimodal {
         // No speculative state.
     }
 
-    fn spec_push(&mut self, _pc: Addr, _outcome: Outcome) -> HistCheckpoint {
-        HistCheckpoint::default()
+    fn spec_push(&mut self, _pc: Addr, outcome: Outcome) -> LookupResult {
+        LookupResult {
+            pred: Prediction {
+                outcome,
+                meta: PredMeta::default(),
+                components_agree: None,
+            },
+            ckpt: HistCheckpoint::default(),
+        }
     }
 
     fn commit(&mut self, pc: Addr, actual: Outcome, _pred: &Prediction) {
         let idx = self.index(pc);
         self.pht[idx].update(actual);
+    }
+
+    // Batched warm path: no speculative history, so a lookup batch is
+    // just a streamed read of the counter array and a commit batch a
+    // streamed update — no checkpoints, no repairs.
+    fn lookup_batch(&mut self, batch: &BranchBatch, preds: &mut Vec<Prediction>) {
+        preds.reserve(batch.len());
+        for &pc in batch.pcs() {
+            let outcome = self.pht[self.index(pc)].predict();
+            preds.push(Prediction {
+                outcome,
+                meta: PredMeta::default(),
+                components_agree: None,
+            });
+        }
+    }
+
+    fn commit_batch(&mut self, batch: &BranchBatch, preds: &[Prediction]) {
+        assert!(
+            preds.len() >= batch.len(),
+            "one prediction per batched branch"
+        );
+        for (pc, actual) in batch.iter() {
+            let idx = self.index(pc);
+            self.pht[idx].update(actual);
+        }
     }
 
     fn storages(&self) -> Vec<Storage> {
@@ -124,10 +157,10 @@ mod tests {
         let mut p = Bimodal::new(128);
         let pc = Addr(0x40);
         for _ in 0..4 {
-            let (pred, _) = p.lookup(pc);
+            let pred = p.lookup(pc).pred;
             p.commit(pc, Taken, &pred);
         }
-        assert!(p.lookup(pc).0.outcome.is_taken());
+        assert!(p.lookup(pc).pred.outcome.is_taken());
     }
 
     #[test]
@@ -136,13 +169,13 @@ mod tests {
         let a = Addr(0x40);
         let b = Addr(0x44);
         for _ in 0..4 {
-            let (pa, _) = p.lookup(a);
+            let pa = p.lookup(a).pred;
             p.commit(a, Taken, &pa);
-            let (pb, _) = p.lookup(b);
+            let pb = p.lookup(b).pred;
             p.commit(b, NotTaken, &pb);
         }
-        assert!(p.lookup(a).0.outcome.is_taken());
-        assert!(!p.lookup(b).0.outcome.is_taken());
+        assert!(p.lookup(a).pred.outcome.is_taken());
+        assert!(!p.lookup(b).pred.outcome.is_taken());
     }
 
     #[test]
@@ -152,11 +185,11 @@ mod tests {
         let a = Addr(0x0);
         let b = Addr(16 * 4);
         for _ in 0..4 {
-            let (pa, _) = p.lookup(a);
+            let pa = p.lookup(a).pred;
             p.commit(a, Taken, &pa);
         }
         assert!(
-            p.lookup(b).0.outcome.is_taken(),
+            p.lookup(b).pred.outcome.is_taken(),
             "aliased branch sees trained counter"
         );
     }
@@ -169,7 +202,7 @@ mod tests {
         let mut correct = 0;
         let mut outcome = Taken;
         for _ in 0..100 {
-            let (pred, _) = p.lookup(pc);
+            let pred = p.lookup(pc).pred;
             if pred.outcome == outcome {
                 correct += 1;
             }
@@ -195,10 +228,10 @@ mod tests {
     #[test]
     fn repair_and_spec_push_are_noops() {
         let mut p = Bimodal::new(64);
-        let before = p.lookup(Addr(0)).0;
-        let ck = p.spec_push(Addr(0), Taken);
+        let before = p.lookup(Addr(0)).pred;
+        let ck = p.spec_push(Addr(0), Taken).ckpt;
         p.repair(&ck);
-        assert_eq!(p.lookup(Addr(0)).0, before);
+        assert_eq!(p.lookup(Addr(0)).pred, before);
     }
 
     #[test]

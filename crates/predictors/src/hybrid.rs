@@ -3,8 +3,8 @@
 use crate::config::{HybridComponent, HybridConfig};
 use crate::counter::SatCounter;
 use crate::direction::{
-    log2_exact, pc_bits, DirectionPredictor, HistCheckpoint, PredMeta, Prediction, Storage,
-    StorageRole,
+    log2_exact, pc_bits, BranchBatch, DirectionPredictor, HistCheckpoint, LookupResult, PredMeta,
+    Prediction, Storage, StorageRole,
 };
 use bw_arrays::ArraySpec;
 use bw_types::{Addr, Outcome};
@@ -28,7 +28,7 @@ use bw_types::{Addr, Outcome};
 /// use bw_predictors::{DirectionPredictor, Hybrid, HybridConfig};
 ///
 /// let mut p = Hybrid::new(&HybridConfig::alpha_21264());
-/// let (pred, _ck) = p.lookup(bw_types::Addr(0x800));
+/// let pred = p.lookup(bw_types::Addr(0x800)).pred;
 /// assert!(pred.components_agree.is_some());
 /// ```
 #[derive(Clone, Debug)]
@@ -160,7 +160,7 @@ fn local_pht_index(l: &LocalComponent, pc: Addr, lhist: u32) -> usize {
 }
 
 impl DirectionPredictor for Hybrid {
-    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+    fn lookup(&mut self, pc: Addr) -> LookupResult {
         let ghist = self.ghr;
         let g_out = self.gpht[self.g_index(pc, ghist)].predict();
         let (b_out, _b_strong, lhist, bht_index) = self.b_predict(pc);
@@ -188,8 +188,8 @@ impl DirectionPredictor for Hybrid {
             *e = (*e << 1) | outcome.as_bit() as u32;
         }
 
-        (
-            Prediction {
+        LookupResult {
+            pred: Prediction {
                 outcome,
                 meta: PredMeta {
                     ghist,
@@ -199,7 +199,7 @@ impl DirectionPredictor for Hybrid {
                 components_agree: Some(both_strong),
             },
             ckpt,
-        )
+        }
     }
 
     fn predict_nonspec(&self, pc: Addr) -> Prediction {
@@ -226,21 +226,33 @@ impl DirectionPredictor for Hybrid {
         }
     }
 
-    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> HistCheckpoint {
+    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> LookupResult {
+        let ghist = self.ghr;
         let local_before = self.local.as_ref().map(|l| {
             let bi = pc_bits(pc, l.bht_index_bits) as u32;
             (bi, l.bht[bi as usize])
         });
-        let ckpt = HistCheckpoint {
-            ghr_before: self.ghr,
-            local_before,
-        };
         self.ghr = (self.ghr << 1) | outcome.as_bit();
         if let (Some(l), Some((bi, _))) = (self.local.as_mut(), local_before) {
             let e = &mut l.bht[bi as usize];
             *e = (*e << 1) | outcome.as_bit() as u32;
         }
-        ckpt
+        let (lhist, bht_index) = local_before.map_or((0, 0), |(bi, h)| (h, bi));
+        LookupResult {
+            pred: Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist,
+                    lhist,
+                    bht_index,
+                },
+                components_agree: None,
+            },
+            ckpt: HistCheckpoint {
+                ghr_before: ghist,
+                local_before,
+            },
+        }
     }
 
     fn commit(&mut self, pc: Addr, actual: Outcome, pred: &Prediction) {
@@ -268,6 +280,47 @@ impl DirectionPredictor for Hybrid {
         if g_correct != b_correct {
             let si = self.sel_index(pc, ghist);
             self.selector[si].train_toward(g_correct);
+        }
+    }
+
+    // Batched warm path: identical component reads and selector
+    // consultation as the scalar lookup, with the net history effect
+    // (shared GHR and local BHT entry absorb the *resolved* bit)
+    // applied directly — no checkpoints, no repairs.
+    fn lookup_batch(&mut self, batch: &BranchBatch, preds: &mut Vec<Prediction>) {
+        preds.reserve(batch.len());
+        for (pc, actual) in batch.iter() {
+            let ghist = self.ghr;
+            let g_out = self.gpht[self.g_index(pc, ghist)].predict();
+            let (b_out, _b_strong, lhist, bht_index) = self.b_predict(pc);
+            let use_global = self.selector[self.sel_index(pc, ghist)].selects_a();
+            let outcome = if use_global { g_out } else { b_out };
+            preds.push(Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist,
+                    lhist,
+                    bht_index,
+                },
+                components_agree: Some(g_out == b_out),
+            });
+            self.ghr = (ghist << 1) | actual.as_bit();
+            if let Some(l) = self.local.as_mut() {
+                let e = &mut l.bht[bht_index as usize];
+                *e = (*e << 1) | actual.as_bit() as u32;
+            }
+        }
+    }
+
+    fn commit_batch(&mut self, batch: &BranchBatch, preds: &[Prediction]) {
+        assert!(
+            preds.len() >= batch.len(),
+            "one prediction per batched branch"
+        );
+        for ((pc, actual), pred) in batch.iter().zip(preds) {
+            // Statically dispatched: identical training to the scalar
+            // commit, including the fresh component-correctness reads.
+            self.commit(pc, actual, pred);
         }
     }
 
@@ -349,7 +402,7 @@ mod tests {
     fn drive(p: &mut dyn DirectionPredictor, seq: &[(Addr, Outcome)], warmup: usize) -> f64 {
         let (mut correct, mut scored) = (0usize, 0usize);
         for (i, &(pc, actual)) in seq.iter().enumerate() {
-            let (pred, ckpt) = p.lookup(pc);
+            let LookupResult { pred, ckpt } = p.lookup(pc);
             if pred.outcome != actual {
                 p.repair(&ckpt);
                 p.spec_push(pc, actual);
@@ -414,14 +467,14 @@ mod tests {
         // Train heavily taken with the proper repair protocol so the
         // speculative histories track the architectural outcome.
         for _ in 0..200 {
-            let (pred, ckpt) = p.lookup(pc);
+            let LookupResult { pred, ckpt } = p.lookup(pc);
             if !pred.outcome.is_taken() {
                 p.repair(&ckpt);
                 p.spec_push(pc, Taken);
             }
             p.commit(pc, Taken, &pred);
         }
-        let (pred, _) = p.lookup(pc);
+        let pred = p.lookup(pc).pred;
         assert_eq!(pred.components_agree, Some(true));
         assert!(pred.outcome.is_taken());
     }
@@ -432,15 +485,14 @@ mod tests {
         // Establish some state.
         for i in 0..50u64 {
             let pc = Addr(0x1000 + i * 8);
-            let (pred, _) = p.lookup(pc);
+            let pred = p.lookup(pc).pred;
             p.commit(pc, Outcome::from_bool(i % 3 == 0), &pred);
         }
         let ghr = p.ghr();
         let bht_snapshot = p.local.as_ref().unwrap().bht.clone();
         let mut ckpts = Vec::new();
         for i in 0..20u64 {
-            let (_, ck) = p.lookup(Addr(0x2000 + i * 4));
-            ckpts.push(ck);
+            ckpts.push(p.lookup(Addr(0x2000 + i * 4)).ckpt);
         }
         for ck in ckpts.iter().rev() {
             p.repair(ck);
@@ -455,10 +507,10 @@ mod tests {
         let mut p = Hybrid::new(&cfg);
         let pc = Addr(0x20);
         for _ in 0..8 {
-            let (pred, _) = p.lookup(pc);
+            let pred = p.lookup(pc).pred;
             p.commit(pc, NotTaken, &pred);
         }
-        let (pred, _) = p.lookup(pc);
+        let pred = p.lookup(pc).pred;
         assert!(!pred.outcome.is_taken());
         assert!(pred.components_agree.is_some());
         // Storage list: selector + global + bimodal = 3 arrays.

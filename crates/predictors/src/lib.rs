@@ -34,7 +34,7 @@
 //!
 //! // The Sun UltraSPARC-III's 16K-entry gshare with 12 bits of history.
 //! let mut p = PredictorConfig::gshare(16 * 1024, 12).build();
-//! let (pred, _ckpt) = p.lookup(Addr(0x4000));
+//! let pred = p.lookup(Addr(0x4000)).pred;
 //! p.commit(Addr(0x4000), Outcome::Taken, &pred);
 //! ```
 
@@ -61,7 +61,8 @@ pub use confidence::JrsEstimator;
 pub use config::{HybridComponent, HybridConfig, PredictorConfig};
 pub use counter::SatCounter;
 pub use direction::{
-    DirectionPredictor, HistCheckpoint, PredMeta, Prediction, Storage, StorageRole,
+    BranchBatch, DirectionPredictor, HistCheckpoint, LookupResult, PredMeta, Prediction, Storage,
+    StorageRole,
 };
 pub use hybrid::Hybrid;
 pub use nextline::NextLinePredictor;

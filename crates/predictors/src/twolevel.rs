@@ -2,8 +2,8 @@
 
 use crate::counter::SatCounter;
 use crate::direction::{
-    log2_exact, pc_bits, DirectionPredictor, HistCheckpoint, PredMeta, Prediction, Storage,
-    StorageRole,
+    log2_exact, pc_bits, BranchBatch, DirectionPredictor, HistCheckpoint, LookupResult, PredMeta,
+    Prediction, Storage, StorageRole,
 };
 use bw_arrays::ArraySpec;
 use bw_types::{Addr, Outcome};
@@ -24,7 +24,7 @@ use bw_types::{Addr, Outcome};
 ///
 /// // The UltraSPARC-III configuration: 16K entries, 12 history bits.
 /// let mut p = TwoLevelGlobal::gshare(16 * 1024, 12);
-/// let (pred, _ck) = p.lookup(Addr(0x100));
+/// let pred = p.lookup(Addr(0x100)).pred;
 /// p.commit(Addr(0x100), Outcome::Taken, &pred);
 /// assert_eq!(p.describe(), "gshare-16384/12");
 /// ```
@@ -98,7 +98,7 @@ impl TwoLevelGlobal {
 }
 
 impl DirectionPredictor for TwoLevelGlobal {
-    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+    fn lookup(&mut self, pc: Addr) -> LookupResult {
         let ghist = self.ghr;
         let outcome = self.pht[self.index(pc, ghist)].predict();
         let ckpt = HistCheckpoint {
@@ -106,8 +106,8 @@ impl DirectionPredictor for TwoLevelGlobal {
             local_before: None,
         };
         self.ghr = (self.ghr << 1) | outcome.as_bit();
-        (
-            Prediction {
+        LookupResult {
+            pred: Prediction {
                 outcome,
                 meta: PredMeta {
                     ghist,
@@ -117,7 +117,7 @@ impl DirectionPredictor for TwoLevelGlobal {
                 components_agree: None,
             },
             ckpt,
-        )
+        }
     }
 
     fn predict_nonspec(&self, pc: Addr) -> Prediction {
@@ -138,18 +138,65 @@ impl DirectionPredictor for TwoLevelGlobal {
         self.ghr = ckpt.ghr_before;
     }
 
-    fn spec_push(&mut self, _pc: Addr, outcome: Outcome) -> HistCheckpoint {
-        let ckpt = HistCheckpoint {
-            ghr_before: self.ghr,
-            local_before: None,
-        };
+    fn spec_push(&mut self, _pc: Addr, outcome: Outcome) -> LookupResult {
+        let ghist = self.ghr;
         self.ghr = (self.ghr << 1) | outcome.as_bit();
-        ckpt
+        LookupResult {
+            pred: Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist,
+                    lhist: 0,
+                    bht_index: 0,
+                },
+                components_agree: None,
+            },
+            ckpt: HistCheckpoint {
+                ghr_before: ghist,
+                local_before: None,
+            },
+        }
     }
 
     fn commit(&mut self, pc: Addr, actual: Outcome, pred: &Prediction) {
         let idx = self.index(pc, pred.meta.ghist);
         self.pht[idx].update(actual);
+    }
+
+    // Batched warm path over the flat counter array. Every outcome is
+    // already resolved, so the net history effect of
+    // lookup/repair-on-mispredict/spec-push collapses to shifting the
+    // *actual* bit — no checkpoints needed. Counter reads are
+    // unchanged (lookups never write the PHT), so predictions and
+    // final state stay byte-identical to the scalar protocol.
+    fn lookup_batch(&mut self, batch: &BranchBatch, preds: &mut Vec<Prediction>) {
+        preds.reserve(batch.len());
+        let mut ghr = self.ghr;
+        for (pc, actual) in batch.iter() {
+            let outcome = self.pht[self.index(pc, ghr)].predict();
+            preds.push(Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist: ghr,
+                    lhist: 0,
+                    bht_index: 0,
+                },
+                components_agree: None,
+            });
+            ghr = (ghr << 1) | actual.as_bit();
+        }
+        self.ghr = ghr;
+    }
+
+    fn commit_batch(&mut self, batch: &BranchBatch, preds: &[Prediction]) {
+        assert!(
+            preds.len() >= batch.len(),
+            "one prediction per batched branch"
+        );
+        for ((pc, actual), pred) in batch.iter().zip(preds) {
+            let idx = self.index(pc, pred.meta.ghist);
+            self.pht[idx].update(actual);
+        }
     }
 
     fn storages(&self) -> Vec<Storage> {
@@ -238,7 +285,7 @@ impl TwoLevelLocal {
 }
 
 impl DirectionPredictor for TwoLevelLocal {
-    fn lookup(&mut self, pc: Addr) -> (Prediction, HistCheckpoint) {
+    fn lookup(&mut self, pc: Addr) -> LookupResult {
         let bi = self.bht_index(pc);
         let lhist = self.bht[bi as usize];
         let outcome = self.pht[self.pht_index(pc, lhist)].predict();
@@ -247,8 +294,8 @@ impl DirectionPredictor for TwoLevelLocal {
             local_before: Some((bi, lhist)),
         };
         self.bht[bi as usize] = (lhist << 1) | outcome.as_bit() as u32;
-        (
-            Prediction {
+        LookupResult {
+            pred: Prediction {
                 outcome,
                 meta: PredMeta {
                     ghist: 0,
@@ -258,7 +305,7 @@ impl DirectionPredictor for TwoLevelLocal {
                 components_agree: None,
             },
             ckpt,
-        )
+        }
     }
 
     fn predict_nonspec(&self, pc: Addr) -> Prediction {
@@ -282,20 +329,64 @@ impl DirectionPredictor for TwoLevelLocal {
         }
     }
 
-    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> HistCheckpoint {
+    fn spec_push(&mut self, pc: Addr, outcome: Outcome) -> LookupResult {
         let bi = self.bht_index(pc);
         let old = self.bht[bi as usize];
-        let ckpt = HistCheckpoint {
-            ghr_before: 0,
-            local_before: Some((bi, old)),
-        };
         self.bht[bi as usize] = (old << 1) | outcome.as_bit() as u32;
-        ckpt
+        LookupResult {
+            pred: Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist: 0,
+                    lhist: old,
+                    bht_index: bi,
+                },
+                components_agree: None,
+            },
+            ckpt: HistCheckpoint {
+                ghr_before: 0,
+                local_before: Some((bi, old)),
+            },
+        }
     }
 
     fn commit(&mut self, pc: Addr, actual: Outcome, pred: &Prediction) {
         let idx = self.pht_index(pc, pred.meta.lhist);
         self.pht[idx].update(actual);
+    }
+
+    // Batched warm path: the per-branch history register ends up as
+    // (old << 1) | actual whether the scalar protocol shifted the
+    // predicted bit and repaired or not, so the batch shifts the
+    // resolved outcome directly.
+    fn lookup_batch(&mut self, batch: &BranchBatch, preds: &mut Vec<Prediction>) {
+        preds.reserve(batch.len());
+        for (pc, actual) in batch.iter() {
+            let bi = self.bht_index(pc);
+            let lhist = self.bht[bi as usize];
+            let outcome = self.pht[self.pht_index(pc, lhist)].predict();
+            preds.push(Prediction {
+                outcome,
+                meta: PredMeta {
+                    ghist: 0,
+                    lhist,
+                    bht_index: bi,
+                },
+                components_agree: None,
+            });
+            self.bht[bi as usize] = (lhist << 1) | actual.as_bit() as u32;
+        }
+    }
+
+    fn commit_batch(&mut self, batch: &BranchBatch, preds: &[Prediction]) {
+        assert!(
+            preds.len() >= batch.len(),
+            "one prediction per batched branch"
+        );
+        for ((pc, actual), pred) in batch.iter().zip(preds) {
+            let idx = self.pht_index(pc, pred.meta.lhist);
+            self.pht[idx].update(actual);
+        }
     }
 
     fn storages(&self) -> Vec<Storage> {
@@ -344,7 +435,7 @@ mod tests {
         let mut correct = 0usize;
         let mut scored = 0usize;
         for (i, &(pc, actual)) in seq.iter().enumerate() {
-            let (pred, ckpt) = p.lookup(pc);
+            let LookupResult { pred, ckpt } = p.lookup(pc);
             if pred.outcome != actual {
                 // Mispredict: repair speculative history, re-insert
                 // the actual outcome.
@@ -432,8 +523,8 @@ mod tests {
         p.spec_push(Addr(0), NotTaken);
         p.spec_push(Addr(0), Taken);
         let before = p.ghr();
-        let (_, ck1) = p.lookup(Addr(0x10));
-        let (_, ck2) = p.lookup(Addr(0x20));
+        let ck1 = p.lookup(Addr(0x10)).ckpt;
+        let ck2 = p.lookup(Addr(0x20)).ckpt;
         assert_ne!(p.ghr(), before, "speculative shifts happened");
         // Squash both, youngest first.
         p.repair(&ck2);
@@ -449,7 +540,7 @@ mod tests {
         p.spec_push(pc, Taken);
         let bi = p.bht_index(pc) as usize;
         let before = p.bht[bi];
-        let (_, ck) = p.lookup(pc);
+        let ck = p.lookup(pc).ckpt;
         assert_ne!(p.bht[bi], before);
         p.repair(&ck);
         assert_eq!(p.bht[bi], before);
@@ -485,7 +576,7 @@ mod tests {
         let mut p = TwoLevelLocal::new(64, 16, 256);
         for i in 0..1000u64 {
             let pc = Addr(i * 4);
-            let (pred, _) = p.lookup(pc);
+            let pred = p.lookup(pc).pred;
             p.commit(pc, Outcome::from_bool(i % 3 == 0), &pred);
         }
     }
@@ -504,15 +595,14 @@ mod proptests {
             let mut p = TwoLevelGlobal::gshare(1024, 10);
             // Random prefix of real traffic.
             for &(pc, t) in &ops {
-                let (pred, _) = p.lookup(Addr(pc * 4));
+                let pred = p.lookup(Addr(pc * 4)).pred;
                 p.commit(Addr(pc * 4), Outcome::from_bool(t), &pred);
             }
             let ghr = p.ghr();
             // A burst of speculative lookups, then squash them all.
             let mut ckpts = Vec::new();
             for &(pc, _) in &ops {
-                let (_, ck) = p.lookup(Addr(pc * 4 + 0x1000));
-                ckpts.push(ck);
+                ckpts.push(p.lookup(Addr(pc * 4 + 0x1000)).ckpt);
             }
             for ck in ckpts.iter().rev() {
                 p.repair(ck);
@@ -528,8 +618,7 @@ mod proptests {
             let snapshot = p.bht.clone();
             let mut ckpts = Vec::new();
             for &pc in &pcs {
-                let (_, ck) = p.lookup(Addr(pc * 4));
-                ckpts.push(ck);
+                ckpts.push(p.lookup(Addr(pc * 4)).ckpt);
             }
             for ck in ckpts.iter().rev() {
                 p.repair(ck);

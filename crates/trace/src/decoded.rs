@@ -1,0 +1,395 @@
+//! The decoded ("bitcode") form of a trace: a one-time decode of a
+//! `.bwt` stream into flat, replay-ready arrays, plus a zero-copy
+//! slice-backed reader over them.
+//!
+//! [`TraceReader`](crate::TraceReader) pays per record on the replay
+//! hot path: every instruction re-decodes its PC through the program
+//! image's binary search, every conditional outcome pulls an RLE run
+//! cursor, every address a LEB128 varint delta. [`DecodedTrace`] pays
+//! those costs exactly once, up front:
+//!
+//! * the program's two code regions are decoded into flat
+//!   [`DecodedInst`] tables indexed by PC slot (decode becomes one
+//!   bounds check and one array read);
+//! * the conditional-outcome stream is unpacked into a bit array, and
+//!   the indirect-target and data-address streams into plain `u64`
+//!   arrays (each pull becomes one indexed read).
+//!
+//! [`DecodedReader`] then replays by borrowing those arrays — it owns
+//! nothing but its cursor state, so constructing one is free and many
+//! readers can share one decode. The step stream is byte-identical to
+//! `TraceReader`'s (the differential tests pin this), and the decoded
+//! form carries no digest of its own: it is a pure function of the
+//! trace, identified by the same [`Trace::digest`].
+
+use bw_types::{Addr, CtiKind, Outcome};
+use bw_workload::{
+    Block, DecodedInst, ExecStep, InstSource, ResolvedCti, StaticProgram, CODE_BASE, FUNC_BASE,
+    MAX_CALL_DEPTH,
+};
+
+use crate::format::Trace;
+
+/// A trace decoded into flat, replay-ready arrays (the "bitcode"
+/// form).
+///
+/// Build one with [`DecodedTrace::new`], then replay it any number of
+/// times through [`DecodedTrace::reader`]. The decode touches every
+/// stream record once; replay afterwards never decodes again.
+pub struct DecodedTrace<'t> {
+    trace: &'t Trace,
+    /// Flat decode of `[CODE_BASE, main_end)`, one entry per
+    /// instruction slot.
+    main_insts: Vec<DecodedInst>,
+    /// Flat decode of `[FUNC_BASE, func_end)`.
+    func_insts: Vec<DecodedInst>,
+    main_end: Addr,
+    func_end: Addr,
+    /// Conditional outcomes in stream order, bit-packed
+    /// (little-endian within each word).
+    cond_bits: Vec<u64>,
+    /// Indirect-jump (and imported-return) targets, in stream order.
+    indirect: Vec<u64>,
+    /// Data addresses, in stream order.
+    data: Vec<u64>,
+}
+
+impl<'t> DecodedTrace<'t> {
+    /// Decodes a trace's program image and event streams into flat
+    /// arrays.
+    ///
+    /// This is the one-time cost the replay hot path no longer pays;
+    /// `bw-bench trace info` reports its size and duration so
+    /// corpus-scale users can budget memory.
+    #[must_use]
+    pub fn new(trace: &'t Trace) -> Self {
+        let program = trace.program();
+        let main_end = program.main_blocks().last().map_or(CODE_BASE, Block::end);
+        let func_end = program.func_blocks().last().map_or(FUNC_BASE, Block::end);
+        let decode_region = |base: Addr, end: Addr| -> Vec<DecodedInst> {
+            let slots = (end.0.saturating_sub(base.0) / 4) as usize;
+            (0..slots)
+                .map(|i| program.decode(Addr(base.0 + (i as u64) * 4)))
+                .collect()
+        };
+
+        let cond_count = trace.cond_count() as usize;
+        let mut cond_bits = vec![0u64; cond_count.div_ceil(64)];
+        let mut cond = trace.cond_cursor();
+        for (i, word) in (0..cond_count).map(|i| (i, i >> 6)) {
+            cond_bits[word] |= u64::from(cond.next()) << (i & 63);
+        }
+
+        let mut ind_cur = trace.ind_cursor();
+        let indirect = (0..trace.indirect_count())
+            .map(|_| ind_cur.next())
+            .collect();
+        let mut data_cur = trace.data_cursor();
+        let data = (0..trace.data_count()).map(|_| data_cur.next()).collect();
+
+        DecodedTrace {
+            trace,
+            main_insts: decode_region(CODE_BASE, main_end),
+            func_insts: decode_region(FUNC_BASE, func_end),
+            main_end,
+            func_end,
+            cond_bits,
+            indirect,
+            data,
+        }
+    }
+
+    /// The trace this decode came from.
+    #[must_use]
+    pub fn trace(&self) -> &'t Trace {
+        self.trace
+    }
+
+    /// The source trace's content digest — the decoded form carries no
+    /// digest of its own, because it is a pure function of the trace.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.trace.digest()
+    }
+
+    /// Bytes the decoded arrays occupy in memory (the number
+    /// corpus-scale users budget against; the encoded `.bwt` streams
+    /// are typically one to two orders of magnitude smaller).
+    #[must_use]
+    pub fn decoded_bytes(&self) -> usize {
+        std::mem::size_of_val(self.main_insts.as_slice())
+            + std::mem::size_of_val(self.func_insts.as_slice())
+            + std::mem::size_of_val(self.cond_bits.as_slice())
+            + std::mem::size_of_val(self.indirect.as_slice())
+            + std::mem::size_of_val(self.data.as_slice())
+    }
+
+    /// A zero-copy reader replaying this decode from the trace's
+    /// recorded entry point.
+    #[must_use]
+    pub fn reader(&self) -> DecodedReader<'_> {
+        let recorded = self.trace.meta().insts;
+        #[cfg(feature = "fault-inject")]
+        let (limit, injected) = match bw_fault::injected_trace_truncation(&self.trace.meta().name) {
+            Some(n) => (n.min(recorded), true),
+            None => (recorded, false),
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let (limit, injected) = (recorded, false);
+        DecodedReader {
+            dec: self,
+            pc: self.trace.meta().entry,
+            ghist: 0,
+            call_stack: Vec::with_capacity(MAX_CALL_DEPTH),
+            insts: 0,
+            limit,
+            injected,
+            cond_pos: 0,
+            ind_pos: 0,
+            data_pos: 0,
+        }
+    }
+}
+
+/// Streams a [`DecodedTrace`] as architectural execution.
+///
+/// Mirrors [`TraceReader`](crate::TraceReader)'s control algorithm
+/// exactly — same mirrored call stack, same global-history shifts,
+/// same exhaustion panic — but every per-record decode is an indexed
+/// read of the borrowed flat arrays. The reader owns only its cursor
+/// state (zero-copy over the decode), so constructing one is free.
+pub struct DecodedReader<'d> {
+    dec: &'d DecodedTrace<'d>,
+    pc: Addr,
+    ghist: u64,
+    call_stack: Vec<Addr>,
+    insts: u64,
+    /// Instructions the stream will actually deliver: the recording's
+    /// length, or less when an armed `trunc` fault (`fault-inject`
+    /// feature) simulates a truncated file.
+    limit: u64,
+    /// `true` when `limit` came from fault injection, so the
+    /// exhaustion panic carries the injection marker.
+    injected: bool,
+    cond_pos: usize,
+    ind_pos: usize,
+    data_pos: usize,
+}
+
+impl DecodedReader<'_> {
+    /// Instructions left before the recording runs out.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.insts)
+    }
+
+    #[inline]
+    fn inst_at(&self, pc: Addr) -> DecodedInst {
+        if pc >= CODE_BASE && pc < self.dec.main_end {
+            self.dec.main_insts[((pc.0 - CODE_BASE.0) >> 2) as usize]
+        } else if pc >= FUNC_BASE && pc < self.dec.func_end {
+            self.dec.func_insts[((pc.0 - FUNC_BASE.0) >> 2) as usize]
+        } else {
+            // Correct-path replay never leaves the code regions; keep
+            // the per-PC decode as a fallback for exact parity with
+            // TraceReader all the same.
+            self.dec.trace.program().decode(pc)
+        }
+    }
+
+    #[inline]
+    fn next_cond_bit(&mut self) -> u64 {
+        let i = self.cond_pos;
+        self.cond_pos += 1;
+        (self.dec.cond_bits[i >> 6] >> (i & 63)) & 1
+    }
+
+    fn resolve(&mut self, info: bw_workload::CtiInfo) -> ResolvedCti {
+        match info.kind {
+            CtiKind::CondBranch => {
+                let outcome = Outcome::from_bool(self.next_cond_bit() != 0);
+                self.ghist = (self.ghist << 1) | outcome.as_bit();
+                let next_pc = if outcome.is_taken() {
+                    info.target.expect("conditional branches are direct")
+                } else {
+                    self.pc.next()
+                };
+                ResolvedCti { outcome, next_pc }
+            }
+            CtiKind::Jump => ResolvedCti {
+                outcome: Outcome::Taken,
+                next_pc: info.target.expect("jumps are direct"),
+            },
+            CtiKind::Call => {
+                if self.call_stack.len() >= MAX_CALL_DEPTH {
+                    self.call_stack.remove(0);
+                }
+                self.call_stack.push(self.pc.next());
+                ResolvedCti {
+                    outcome: Outcome::Taken,
+                    next_pc: info.target.expect("calls are direct"),
+                }
+            }
+            CtiKind::Return => {
+                let next_pc = if self.dec.trace.meta().returns_in_stream {
+                    let t = self.dec.indirect[self.ind_pos];
+                    self.ind_pos += 1;
+                    Addr(t)
+                } else {
+                    self.call_stack.pop().unwrap_or(CODE_BASE)
+                };
+                ResolvedCti {
+                    outcome: Outcome::Taken,
+                    next_pc,
+                }
+            }
+            CtiKind::IndirectJump => {
+                let t = self.dec.indirect[self.ind_pos];
+                self.ind_pos += 1;
+                ResolvedCti {
+                    outcome: Outcome::Taken,
+                    next_pc: Addr(t),
+                }
+            }
+        }
+    }
+}
+
+impl InstSource for DecodedReader<'_> {
+    fn program(&self) -> &StaticProgram {
+        self.dec.trace.program()
+    }
+
+    fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    fn global_history(&self) -> u64 {
+        self.ghist
+    }
+
+    fn step(&mut self) -> ExecStep {
+        assert!(
+            self.insts < self.limit,
+            "trace '{}' exhausted after {} instructions; record a longer trace{}",
+            self.dec.trace.meta().name,
+            self.insts,
+            if self.injected {
+                // Keep in sync with bw_fault::TRACE_MARKER.
+                " (bw-fault: injected trace truncation)"
+            } else {
+                ""
+            },
+        );
+        let inst = self.inst_at(self.pc);
+        self.insts += 1;
+
+        let data_addr = if inst.op.is_mem() {
+            let a = self.dec.data[self.data_pos];
+            self.data_pos += 1;
+            Some(Addr(a))
+        } else {
+            None
+        };
+
+        let control = match inst.cti {
+            None => {
+                self.pc = self.pc.next();
+                None
+            }
+            Some(info) => {
+                let resolved = self.resolve(info);
+                self.pc = resolved.next_pc;
+                Some(resolved)
+            }
+        };
+        ExecStep {
+            inst,
+            control,
+            data_addr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record_model;
+    use crate::TraceReader;
+    use bw_workload::benchmark;
+
+    fn quick_trace(name: &str, insts: u64) -> Trace {
+        let model = benchmark(name).expect("built-in model");
+        let program = model.build_program(7);
+        record_model(model, &program, 7, insts)
+    }
+
+    #[test]
+    fn decoded_replay_is_byte_identical_to_streaming_replay() {
+        let trace = quick_trace("gzip", 30_000);
+        let dec = DecodedTrace::new(&trace);
+        let mut fast = dec.reader();
+        let mut slow = TraceReader::new(&trace);
+        for i in 0..30_000u64 {
+            assert_eq!(fast.pc(), slow.pc(), "pc diverged before step {i}");
+            assert_eq!(fast.step(), slow.step(), "step {i} diverged");
+            assert_eq!(fast.global_history(), slow.global_history());
+        }
+        assert_eq!(fast.insts(), slow.insts());
+        assert_eq!(fast.remaining(), slow.remaining());
+    }
+
+    #[test]
+    fn decoded_replay_matches_the_live_thread() {
+        let model = benchmark("vortex").expect("built-in model");
+        let program = model.build_program(11);
+        let trace = record_model(model, &program, 11, 10_000);
+        let dec = DecodedTrace::new(&trace);
+        let mut replay = dec.reader();
+        let mut live = model.thread(&program, 11);
+        for _ in 0..10_000 {
+            assert_eq!(replay.step(), live.step());
+        }
+    }
+
+    #[test]
+    fn digest_passes_through_and_size_is_reported() {
+        let trace = quick_trace("gzip", 5_000);
+        let dec = DecodedTrace::new(&trace);
+        assert_eq!(dec.digest(), trace.digest());
+        assert!(
+            dec.decoded_bytes() > 0,
+            "flat arrays must report their footprint"
+        );
+        // The instruction tables alone dominate: every program slot
+        // decodes to one entry.
+        let slots = dec.main_insts.len() + dec.func_insts.len();
+        assert!(dec.decoded_bytes() >= slots * std::mem::size_of::<DecodedInst>());
+    }
+
+    #[test]
+    fn many_readers_share_one_decode() {
+        let trace = quick_trace("gzip", 2_000);
+        let dec = DecodedTrace::new(&trace);
+        let mut a = dec.reader();
+        let mut b = dec.reader();
+        for _ in 0..2_000 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted after 100 instructions")]
+    fn stepping_past_the_end_panics_like_the_streaming_reader() {
+        let trace = quick_trace("gzip", 100);
+        let dec = DecodedTrace::new(&trace);
+        let mut r = dec.reader();
+        for _ in 0..=100 {
+            r.step();
+        }
+    }
+}

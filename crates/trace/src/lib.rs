@@ -29,6 +29,12 @@
 //! re-derives return targets by mirroring the thread's call-stack
 //! discipline.
 //!
+//! For the replay hot path there is also a decoded "bitcode" form:
+//! [`DecodedTrace`] pays the per-record stream decoding and per-PC
+//! program decode once, up front, into flat arrays, and the zero-copy
+//! [`DecodedReader`] over them yields the same byte-identical step
+//! stream with every per-record cost replaced by an indexed read.
+//!
 //! # Examples
 //!
 //! ```
@@ -49,12 +55,14 @@
 #![warn(missing_docs)]
 
 mod codec;
+mod decoded;
 mod format;
 mod import;
 mod reader;
 mod record;
 mod stats;
 
+pub use decoded::{DecodedReader, DecodedTrace};
 pub use format::{Trace, TraceMeta, FORMAT_VERSION};
 pub use import::import_text;
 pub use reader::TraceReader;

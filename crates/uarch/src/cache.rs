@@ -49,6 +49,7 @@ pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,
     set_mask: u64,
+    line_shift: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -88,6 +89,7 @@ impl Cache {
             cfg,
             sets: vec![vec![Line::default(); cfg.assoc as usize]; n_sets as usize],
             set_mask: n_sets - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -101,11 +103,19 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
-        let line = addr.0 / self.cfg.line_bytes;
+        let line = addr.0 >> self.line_shift;
         (
             (line & self.set_mask) as usize,
             line >> self.set_mask.count_ones(),
         )
+    }
+
+    /// Records a hit that bypassed the full lookup: the warm path's
+    /// shortcut for back-to-back accesses to the same line, which are
+    /// hits by construction and already most-recently-used (so the
+    /// counter bump is the access's entire observable effect).
+    pub(crate) fn note_repeat_hit(&mut self) {
+        self.hits += 1;
     }
 
     /// Accesses the line containing `addr`, allocating it on a miss.
@@ -194,6 +204,7 @@ pub struct TlbConfig {
 pub struct Tlb {
     cfg: TlbConfig,
     pages: Vec<(u64, u64)>, // (page number, lru)
+    page_shift: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -216,6 +227,7 @@ impl Tlb {
         Tlb {
             cfg,
             pages: Vec::with_capacity(cfg.entries as usize),
+            page_shift: cfg.page_bytes.trailing_zeros(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -231,10 +243,16 @@ impl Tlb {
     /// Translates `addr`, returning `true` on a hit. Misses allocate.
     pub fn access(&mut self, addr: Addr) -> bool {
         self.tick += 1;
-        let page = addr.0 / self.cfg.page_bytes;
-        if let Some(e) = self.pages.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = self.tick;
+        let page = addr.0 >> self.page_shift;
+        if let Some(i) = self.pages.iter().position(|(p, _)| *p == page) {
+            self.pages[i].1 = self.tick;
             self.hits += 1;
+            // Move-to-front keeps hot pages at the head of the linear
+            // scan. Observationally invisible: page numbers are unique
+            // (so the lookup's result never depends on order) and LRU
+            // ticks are unique (so victim selection never tie-breaks
+            // on position).
+            self.pages.swap(0, i);
             return true;
         }
         self.misses += 1;

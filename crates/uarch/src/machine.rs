@@ -9,7 +9,8 @@ use bw_power::{
     Activity, BpredActivity, BpredOptions, BpredPower, BpredTotals, ChipPower, EnergyReport,
 };
 use bw_predictors::{
-    Btb, DirectionPredictor, JrsEstimator, NextLinePredictor, Ppd, PpdBits, PredictorConfig, Ras,
+    BranchBatch, Btb, DirectionPredictor, JrsEstimator, NextLinePredictor, Ppd, PpdBits,
+    Prediction, PredictorConfig, Ras,
 };
 use bw_types::{Addr, CtiKind, Cycle, Seq};
 use bw_workload::{BenchmarkModel, InstSource, StaticProgram, Thread};
@@ -295,7 +296,103 @@ impl<'p, S: InstSource> Machine<'p, S> {
     /// (no cycle accounting, no power): the predictor, BTB, RAS,
     /// caches and PPD are warmed exactly as the paper's runs warm
     /// state while fast-forwarding past initialization.
+    ///
+    /// Resolved conditional branches are accumulated into a
+    /// [`BranchBatch`] and fed to the predictor through its batched
+    /// surface ([`DirectionPredictor::lookup_batch`] /
+    /// [`DirectionPredictor::commit_batch`]) — one virtual call per
+    /// [`WARM_BATCH`](Self::WARM_BATCH) branches instead of several
+    /// per branch. Final predictor state is byte-identical to the
+    /// scalar protocol ([`warmup_scalar`](Self::warmup_scalar) keeps
+    /// the old loop as the differential reference): speculative
+    /// history absorbs the resolved outcome either way, and
+    /// commit-time training indexes through metadata captured at
+    /// lookup, never live history.
     pub fn warmup(&mut self, insts: u64) {
+        let mut batch = BranchBatch::with_capacity(Self::WARM_BATCH);
+        let mut preds: Vec<Prediction> = Vec::with_capacity(Self::WARM_BATCH);
+        let line_shift = self.cfg.l1i.line_bytes.trailing_zeros();
+        // Same-line i-fetch shortcut: a back-to-back access to the line
+        // just fetched is a hit by construction and already MRU, so the
+        // hit-counter bump is its entire observable effect. Nothing
+        // between two consecutive warm fetches touches the i-cache, so
+        // the line cannot have been evicted in between.
+        let mut last_line = u64::MAX;
+        for _ in 0..insts {
+            let step = self.source.step();
+            let pc = step.inst.pc;
+            // I-side warm: line granular.
+            let line = pc.0 >> line_shift;
+            if line == last_line {
+                self.icache.note_repeat_hit();
+            } else {
+                last_line = line;
+                if !self.icache.access(pc, false).hit {
+                    self.l2.access(pc, false);
+                    if let Some(ppd) = &mut self.ppd {
+                        let bits = line_predecode(self.program, pc, self.cfg.l1i.line_bytes);
+                        ppd.on_refill(pc, bits);
+                    }
+                }
+            }
+            if let Some(addr) = step.data_addr {
+                self.tlb.access(addr);
+                if !self
+                    .dcache
+                    .access(addr, step.inst.op == bw_types::OpClass::Store)
+                    .hit
+                {
+                    self.l2.access(addr, false);
+                }
+            }
+            if let Some(cti) = step.inst.cti {
+                let actual = step.control.expect("CTIs resolve");
+                if cti.kind == CtiKind::CondBranch {
+                    batch.push(pc, actual.outcome);
+                    if batch.len() >= Self::WARM_BATCH {
+                        self.predictor.lookup_batch(&batch, &mut preds);
+                        self.predictor.commit_batch(&batch, &preds);
+                        batch.clear();
+                        preds.clear();
+                    }
+                }
+                match cti.kind {
+                    CtiKind::Call => self.ras.push(pc.next()),
+                    CtiKind::Return => {
+                        let _ = self.ras.pop();
+                    }
+                    _ => {}
+                }
+                if actual.outcome.is_taken() {
+                    match &mut self.nlp {
+                        Some(nlp) => nlp.train(pc, actual.next_pc),
+                        None => self.btb.update(pc, actual.next_pc),
+                    }
+                }
+            }
+        }
+        if !batch.is_empty() {
+            self.predictor.lookup_batch(&batch, &mut preds);
+            self.predictor.commit_batch(&batch, &preds);
+        }
+        self.fetch_pc = self.source.pc();
+        self.on_correct_path = true;
+    }
+
+    /// Resolved branches per batched predictor call on the warm path.
+    ///
+    /// Large enough to amortize the two virtual calls per batch to
+    /// nothing, small enough that the batch and its predictions stay
+    /// resident in L1.
+    pub const WARM_BATCH: usize = 256;
+
+    /// The scalar reference implementation of [`warmup`](Self::warmup):
+    /// one predictor call per protocol step, per branch.
+    ///
+    /// Kept for the batch-vs-scalar differential tests and benchmarks
+    /// that pin the batched warm path to this loop's exact final
+    /// state; simulation entry points use the batched `warmup`.
+    pub fn warmup_scalar(&mut self, insts: u64) {
         for _ in 0..insts {
             let step = self.source.step();
             let pc = step.inst.pc;
@@ -322,13 +419,17 @@ impl<'p, S: InstSource> Machine<'p, S> {
                 let actual = step.control.expect("CTIs resolve");
                 if cti.kind == CtiKind::CondBranch {
                     if self.cfg.speculative_history {
-                        let (pred, ckpt) = self.predictor.lookup(pc);
-                        if pred.outcome != actual.outcome {
-                            self.predictor.repair(&ckpt);
+                        // lint: allow(batched-warm-path) — this is the
+                        // scalar differential reference.
+                        let r = self.predictor.lookup(pc);
+                        if r.pred.outcome != actual.outcome {
+                            self.predictor.repair(&r.ckpt);
                             self.predictor.spec_push(pc, actual.outcome);
                         }
-                        self.predictor.commit(pc, actual.outcome, &pred);
+                        self.predictor.commit(pc, actual.outcome, &r.pred);
                     } else {
+                        // lint: allow(batched-warm-path) — scalar
+                        // reference, commit-time history update.
                         let pred = self.predictor.predict_nonspec(pc);
                         self.predictor.commit(pc, actual.outcome, &pred);
                         self.predictor.spec_push(pc, actual.outcome);
@@ -610,8 +711,8 @@ impl<'p, S: InstSource> Machine<'p, S> {
         let predicted_next = match cti.kind {
             CtiKind::CondBranch => {
                 let (pred, ckpt) = if self.cfg.speculative_history {
-                    let (p, c) = self.predictor.lookup(pc);
-                    (p, Some(c))
+                    let r = self.predictor.lookup(pc);
+                    (r.pred, Some(r.ckpt))
                 } else {
                     // Commit-time history: read-only prediction, no
                     // checkpoint needed (nothing speculative to repair).

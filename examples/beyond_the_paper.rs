@@ -46,9 +46,9 @@ fn main() {
                 continue;
             }
             let actual = s.control.unwrap().outcome;
-            let (pred, ck) = p.lookup(s.inst.pc);
+            let bw_predictors::LookupResult { pred, ckpt } = p.lookup(s.inst.pc);
             if pred.outcome != actual {
-                p.repair(&ck);
+                p.repair(&ckpt);
                 p.spec_push(s.inst.pc, actual);
             }
             if seen > 800_000 {

@@ -29,18 +29,18 @@ fn accuracy(model: &bw_workload::BenchmarkModel, cfg: PredictorConfig, insts: u6
         }
         let actual = step.control.expect("cond branch resolves").outcome;
         let pc = step.inst.pc;
-        let (p, ckpt) = pred.lookup(pc);
-        if p.outcome != actual {
-            pred.repair(&ckpt);
+        let r = pred.lookup(pc);
+        if r.pred.outcome != actual {
+            pred.repair(&r.ckpt);
             pred.spec_push(pc, actual);
         }
         if seen > warmup {
             total += 1;
-            if p.outcome == actual {
+            if r.pred.outcome == actual {
                 correct += 1;
             }
         }
-        pred.commit(pc, actual, &p);
+        pred.commit(pc, actual, &r.pred);
     }
     assert!(
         total > 100,

@@ -167,6 +167,14 @@ pub fn rules() -> Vec<Rule> {
             summary: "every library crate root must carry #![warn(missing_docs)]",
             check: check_missing_docs_warn,
         },
+        Rule {
+            name: "batched-warm-path",
+            summary: "warm-path loops in crates/uarch/src/machine.rs must drive the predictor \
+                      through the batched surface (lookup_batch/commit_batch), not scalar \
+                      per-branch calls; an allow marker inside a warmup fn exempts the whole \
+                      loop (the scalar differential reference)",
+            check: check_batched_warm_path,
+        },
     ]
 }
 
@@ -670,6 +678,82 @@ fn check_missing_docs_warn(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation
     }
 }
 
+/// Scalar per-branch protocol calls that have batched equivalents on
+/// the warm path. `lookup_batch(`/`commit_batch(` do not match any of
+/// these prefixes.
+const SCALAR_PROTOCOL_CALLS: &[&str] = &[
+    "lookup(",
+    "predict_nonspec(",
+    "commit(",
+    "spec_push(",
+    "repair(",
+];
+
+fn check_batched_warm_path(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.rel != "crates/uarch/src/machine.rs" {
+        return;
+    }
+    let n = sf.code.len();
+    let mut i = 0;
+    while i < n {
+        let head = sf.code[i].trim_start();
+        if !(head.starts_with("pub fn warmup") || head.starts_with("fn warmup")) {
+            i += 1;
+            continue;
+        }
+        // Span the warm loop's body by brace depth.
+        let mut depth: i64 = 0;
+        let mut started = false;
+        let mut end = i;
+        for (k, line) in sf.code.iter().enumerate().take(n).skip(i) {
+            for ch in line.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            end = k;
+            if started && depth <= 0 {
+                break;
+            }
+        }
+        // The scalar differential reference keeps the old loop on
+        // purpose: one marker anywhere inside the fn exempts it (the
+        // justification comment spans lines, so per-line suppression
+        // would not cover every protocol call in the block).
+        let marker = format!("lint: allow({})", rule.name);
+        if !sf.raw[i..=end].iter().any(|l| l.contains(&marker)) {
+            for k in i..=end {
+                let line = &sf.code[k];
+                let mut from = 0;
+                while let Some(pos) = line[from..].find("predictor.") {
+                    let at = from + pos + "predictor.".len();
+                    from = at;
+                    let tail = &line[at..];
+                    if SCALAR_PROTOCOL_CALLS.iter().any(|c| tail.starts_with(c)) {
+                        rule.push(
+                            sf,
+                            k,
+                            "scalar per-branch predictor call on the warm path; accumulate \
+                             into a BranchBatch and go through lookup_batch/commit_batch, or \
+                             mark a deliberate scalar reference with \
+                             `// lint: allow(batched-warm-path)` inside the fn"
+                                .to_string(),
+                            out,
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        i = end + 1;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Token helpers
 // ---------------------------------------------------------------------
@@ -916,6 +1000,49 @@ mod tests {
         // Binary roots need forbid-unsafe but not missing-docs.
         let v = lint_one("xtask/src/main.rs", "fn main() {}\n");
         assert_eq!(names(&v), vec!["forbid-unsafe"]);
+    }
+
+    #[test]
+    fn batched_warm_path_rule() {
+        // Scalar protocol calls inside a warm loop are flagged.
+        let src = "impl Machine {\n\
+                   pub fn warmup(&mut self, insts: u64) {\n\
+                   let r = self.predictor.lookup(pc);\n\
+                   self.predictor.commit(pc, actual, &r.pred);\n\
+                   }\n\
+                   }\n";
+        let v = lint_one("crates/uarch/src/machine.rs", src);
+        assert_eq!(names(&v), vec!["batched-warm-path", "batched-warm-path"]);
+        // The batched surface passes (prefix match stops at `(`).
+        let src = "impl Machine {\n\
+                   pub fn warmup(&mut self, insts: u64) {\n\
+                   self.predictor.lookup_batch(&batch, &mut preds);\n\
+                   self.predictor.commit_batch(&batch, &preds);\n\
+                   }\n\
+                   }\n";
+        assert!(lint_one("crates/uarch/src/machine.rs", src).is_empty());
+        // One marker anywhere in the fn exempts the whole loop, the
+        // way the scalar differential reference is annotated.
+        let src = "impl Machine {\n\
+                   pub fn warmup_scalar(&mut self, insts: u64) {\n\
+                   // lint: allow(batched-warm-path) -- scalar reference\n\
+                   let r = self.predictor.lookup(pc);\n\
+                   self.predictor.repair(&r.ckpt);\n\
+                   self.predictor.commit(pc, actual, &r.pred);\n\
+                   }\n\
+                   }\n";
+        assert!(lint_one("crates/uarch/src/machine.rs", src).is_empty());
+        // Scalar calls outside a warmup fn (the cycle-level fetch loop
+        // resolves branches one at a time by design) pass.
+        let src = "impl Machine {\n\
+                   fn step_fetch(&mut self) {\n\
+                   let r = self.predictor.lookup(pc);\n\
+                   }\n\
+                   }\n";
+        assert!(lint_one("crates/uarch/src/machine.rs", src).is_empty());
+        // Other files are out of scope.
+        let src = "pub fn warmup() { self.predictor.lookup(pc); }\n";
+        assert!(lint_one("crates/uarch/src/front.rs", src).is_empty());
     }
 
     #[test]
