@@ -12,6 +12,10 @@
 use std::path::Path;
 use std::time::Instant;
 
+/// The PR this tree corresponds to; stamped into `BENCH_kernel.json`
+/// and its cross-PR history so regressions are attributable.
+const PR: u32 = 7;
+
 use bw_arrays::{ModelKind, TechParams};
 use bw_core::trace::{DecodedTrace, Trace, TraceReader};
 use bw_core::zoo::NamedPredictor;
@@ -120,6 +124,100 @@ fn sample_replay(samples: u32, mut f: impl FnMut() -> (f64, SimStats)) -> (f64, 
     (best, stats.unwrap())
 }
 
+/// One cross-PR history row: the replay-kernel ns/inst pair measured
+/// at a given PR (full mode only, so rows stay comparable).
+#[derive(Clone, Copy)]
+struct HistoryRow {
+    pr: u32,
+    scalar: f64,
+    batched: f64,
+}
+
+/// Extracts a numeric field from a flat JSON object fragment. The
+/// bench both writes and reads this file with the same hand-rolled
+/// format, so a substring scan is exact for our own output.
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Loads the history array from a previously written
+/// `BENCH_kernel.json`. Files from before history tracking carry no
+/// array; their top-level replay numbers become the seed row (that
+/// file was written at PR 5, where the batched kernel landed).
+fn load_history(prev: &str) -> Vec<HistoryRow> {
+    let mut rows = Vec::new();
+    if let Some(start) = prev.find("\"history\": [") {
+        let body = &prev[start..];
+        let end = body.find(']').unwrap_or(body.len());
+        for obj in body[..end].split('{').skip(1) {
+            if let (Some(pr), Some(scalar), Some(batched)) = (
+                field_num(obj, "pr"),
+                field_num(obj, "scalar_ns_per_inst"),
+                field_num(obj, "batched_ns_per_inst"),
+            ) {
+                rows.push(HistoryRow {
+                    pr: pr as u32,
+                    scalar,
+                    batched,
+                });
+            }
+        }
+    } else if let Some(replay) = prev.find("\"replay\"") {
+        let body = &prev[replay..];
+        if let (Some(scalar), Some(batched)) = (
+            field_num(body, "scalar_ns_per_inst"),
+            field_num(body, "batched_ns_per_inst"),
+        ) {
+            rows.push(HistoryRow {
+                pr: 5,
+                scalar,
+                batched,
+            });
+        }
+    }
+    rows
+}
+
+/// Appends (or, on a re-run of the same PR, replaces) this tree's row.
+/// Quick-mode numbers are not comparable across PRs and never enter
+/// the history.
+fn update_history(
+    mut rows: Vec<HistoryRow>,
+    mode: &str,
+    scalar: f64,
+    batched: f64,
+) -> Vec<HistoryRow> {
+    if mode == "full" {
+        rows.retain(|r| r.pr != PR);
+        rows.push(HistoryRow {
+            pr: PR,
+            scalar,
+            batched,
+        });
+    }
+    rows.sort_by_key(|r| r.pr);
+    rows
+}
+
+fn history_json(rows: &[HistoryRow]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"pr\": {}, \"scalar_ns_per_inst\": {:.2}, \"batched_ns_per_inst\": {:.2} }}",
+                r.pr, r.scalar, r.batched
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", body.join(",\n"))
+}
+
 fn main() {
     if !std::env::args().any(|a| a == "--bench") {
         println!("kernel: skipped (run via `cargo bench` to measure)");
@@ -211,15 +309,35 @@ fn main() {
         per_cell(supervised_ns)
     );
 
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root")
+        .to_path_buf();
+    let path = root.join("BENCH_kernel.json");
+
+    // Cross-PR history: carry forward rows from the previous report
+    // (or seed from its top-level numbers) and append this run's.
+    let prev = std::fs::read_to_string(&path).unwrap_or_default();
+    let history = update_history(
+        load_history(&prev),
+        budget.mode,
+        per(scalar_ns),
+        per(batched_ns),
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"kernel\",\n  \"mode\": \"{mode}\",\n  \"workload\": \"gzip\",\n  \
+        "{{\n  \"bench\": \"kernel\",\n  \"pr\": {pr},\n  \"mode\": \"{mode}\",\n  \
+         \"workload\": \"gzip\",\n  \
          \"predictor\": \"{pred}\",\n  \"warm_insts\": {warm},\n  \"measure_insts\": {measure},\n  \
          \"trace_insts\": {trace_insts},\n  \"decoded_bytes\": {decoded_bytes},\n  \"replay\": {{\n    \
          \"scalar_ns_per_inst\": {scalar:.2},\n    \"batched_ns_per_inst\": {batched:.2},\n    \
          \"speedup\": {speedup:.3},\n    \"decode_ms_one_time\": {decode_ms:.3},\n    \
          \"batch_identical\": {batch_identical},\n    \"audit_clean\": {audit_clean}\n  }},\n  \
          \"one_cell\": {{\n    \"strict_ns_per_inst\": {strict:.2},\n    \
-         \"supervised_ns_per_inst\": {supervised:.2}\n  }}\n}}\n",
+         \"supervised_ns_per_inst\": {supervised:.2}\n  }},\n  \
+         \"history\": {history}\n}}\n",
+        pr = PR,
         mode = budget.mode,
         pred = NamedPredictor::Gshare16k12.label(),
         warm = budget.warm_insts,
@@ -231,13 +349,8 @@ fn main() {
         decode_ms = decode_ns / 1e6,
         strict = per_cell(strict_ns),
         supervised = per_cell(supervised_ns),
+        history = history_json(&history),
     );
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/bench sits two levels below the repo root")
-        .to_path_buf();
-    let path = root.join("BENCH_kernel.json");
     fsutil::atomic_write(&path, json.as_bytes()).expect("write BENCH_kernel.json");
     println!("kernel: wrote {}", path.display());
 }

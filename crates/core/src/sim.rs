@@ -429,7 +429,11 @@ fn fault_hooks(token: Option<&CancelToken>) -> Result<(), Cancelled> {
         panic!("{} (simulation loop)", bw_fault::PANIC_MARKER);
     }
     if let Some(d) = bw_fault::injected_stall("sim-loop") {
+        // The stall *is* the injected fault: wall-clock time here is
+        // the test payload, never a simulation input.
+        // lint: allow(det-wallclock)
         let until = std::time::Instant::now() + d;
+        // lint: allow(det-wallclock)
         while std::time::Instant::now() < until {
             if token.is_some_and(CancelToken::is_cancelled) {
                 return Err(Cancelled);

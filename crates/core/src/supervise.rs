@@ -34,7 +34,7 @@
 //! [`CancelToken`] between instruction chunks, so no thread is ever
 //! killed mid-update.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -552,7 +552,8 @@ pub(crate) struct Quarantine {
     /// carried but never read).
     #[cfg_attr(not(feature = "serde"), allow(dead_code))]
     path: Option<PathBuf>,
-    entries: HashMap<u64, QuarantineEntry>,
+    /// Ordered so ledger persistence iterates deterministically.
+    entries: BTreeMap<u64, QuarantineEntry>,
     dirty: bool,
 }
 
@@ -561,7 +562,7 @@ impl Quarantine {
     pub(crate) fn ephemeral() -> Self {
         Quarantine {
             path: None,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             dirty: false,
         }
     }
@@ -598,7 +599,7 @@ impl Quarantine {
 mod quarantine_persist {
     use super::{Quarantine, QuarantineEntry, QUARANTINE_FORMAT_VERSION};
     use serde::{Deserialize, Serialize, Value};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use std::path::PathBuf;
 
     impl Quarantine {
@@ -615,7 +616,7 @@ mod quarantine_persist {
             }
         }
 
-        fn parse(text: &str) -> Option<HashMap<u64, QuarantineEntry>> {
+        fn parse(text: &str) -> Option<BTreeMap<u64, QuarantineEntry>> {
             let v = serde_json::parse_value_str(text).ok()?;
             if u32::from_value(v.get("format_version")?).ok()? != QUARANTINE_FORMAT_VERSION {
                 return None;
@@ -623,7 +624,7 @@ mod quarantine_persist {
             let Value::Arr(items) = v.get("entries")? else {
                 return None;
             };
-            let mut map = HashMap::new();
+            let mut map = BTreeMap::new();
             for item in items {
                 let digest =
                     u64::from_str_radix(&String::from_value(item.get("key")?).ok()?, 16).ok()?;
@@ -645,12 +646,12 @@ mod quarantine_persist {
             let (Some(path), true) = (&self.path, self.dirty) else {
                 return;
             };
-            let mut items: Vec<(u64, &QuarantineEntry)> =
-                self.entries.iter().map(|(d, e)| (*d, e)).collect();
-            items.sort_by_key(|(d, _)| *d); // deterministic file bytes
-            let entries: Vec<Value> = items
-                .into_iter()
-                .map(|(digest, e)| {
+            // BTreeMap iteration is key-ordered: file bytes are
+            // deterministic without an explicit sort.
+            let entries: Vec<Value> = self
+                .entries
+                .iter()
+                .map(|(&digest, e)| {
                     Value::Obj(vec![
                         ("key".into(), Value::Str(format!("{digest:016x}"))),
                         ("benchmark".into(), Value::Str(e.benchmark.clone())),

@@ -84,6 +84,13 @@ impl TwoLevelAlloyed {
 }
 
 impl DirectionPredictor for TwoLevelAlloyed {
+    // This impl is the pinned reference for the trait's scalar-looping
+    // batch defaults: batch_protocol.rs exercises the default
+    // lookup_batch/commit_batch through it, so it must NOT override
+    // them. It is likewise outside the named-predictor zoo, so the
+    // audited differential suite reaches it only via its own tests.
+    // lint: allow(batch-override)
+    // lint: allow(audit-registry)
     fn lookup(&mut self, pc: Addr) -> LookupResult {
         let ghist = self.ghr;
         let bi = self.bht_index(pc);

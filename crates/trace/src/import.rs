@@ -28,7 +28,7 @@
 //! discipline is unknown), flagged by `returns_in_stream` in the
 //! trace header.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bw_types::{Addr, OpClass};
 use bw_workload::{Behavior, Block, InstMix, StaticProgram, Terminator, CODE_BASE};
@@ -307,7 +307,9 @@ impl Layout {
         // Observed dynamic statistics per original PC.
         let mut taken_target: HashMap<u64, u64> = HashMap::new();
         let mut cond_stats: HashMap<u64, (u64, u64)> = HashMap::new();
-        let mut ind_targets: HashMap<u64, HashMap<u64, u64>> = HashMap::new();
+        // Inner map ordered: its iteration feeds the top-4 target table
+        // (count ties broken by target value, so order must be stable).
+        let mut ind_targets: HashMap<u64, BTreeMap<u64, u64>> = HashMap::new();
         let mut kind_of: HashMap<u64, Kind> = HashMap::new();
         for (i, r) in records.iter().enumerate() {
             kind_of.entry(r.pc).or_insert(r.kind);

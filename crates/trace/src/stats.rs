@@ -1,7 +1,7 @@
 //! Table-2-style stream characterization (branch frequencies, bias
 //! spread, inter-branch distance histograms à la the paper's Fig 14).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use bw_types::CtiKind;
@@ -84,7 +84,10 @@ pub fn characterize(trace: &Trace, max_insts: u64) -> TraceStats {
     let mut ctis = 0u64;
     let mut taken = 0u64;
     let mut mem_ops = 0u64;
-    let mut site_exec: HashMap<u32, (u64, u64)> = HashMap::new();
+    // Ordered map: `characterize` feeds figure tables, so every
+    // derived quantity must be iteration-order independent *and* look
+    // it — BTreeMap makes the property structural.
+    let mut site_exec: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
     let mut cond_distance = [0u64; DIST_BUCKETS];
     let mut cti_distance = [0u64; DIST_BUCKETS];
     let mut last_cond: Option<u64> = None;

@@ -1,0 +1,397 @@
+//! A small hand-rolled Rust lexer for the static-analysis engine.
+//!
+//! Produces a flat token stream with line numbers — enough for
+//! item-level parsing and token-pattern scans, deliberately far short
+//! of a real Rust grammar. The lexer must *never* panic: it is run
+//! over arbitrary byte soup by a property test, and over every
+//! workspace file on every lint invocation. Unknown or malformed
+//! input degrades to `Tok::Punct` / best-effort literals, never to an
+//! error.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `HashMap`, `self`, ...).
+    Ident(String),
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime(String),
+    /// A string/char/byte literal; the payload is the *content* for
+    /// string-likes (escapes unresolved) and is never scanned for
+    /// code patterns.
+    Literal(String),
+    /// A numeric literal, suffix included (`1_000u64`, `0.25`).
+    Number(String),
+    /// `::` — path separator, kept fused so path scans are easy.
+    PathSep,
+    /// `->` — kept fused for signature scans.
+    Arrow,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// A token with its 0-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 0-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` if this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.tok, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// Lexes `src` into a token stream. Comments vanish; doc comments
+/// vanish with them (item docs are not analysis input). Never panics.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Helper closures can't borrow `line` mutably alongside the loop,
+    // so newline counting is inlined at every multi-char consumer.
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line comment: skip to end of line.
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Nested block comment.
+                let mut depth = 1u32;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let mut lit = String::new();
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => {
+                            lit.push('\\');
+                            if i + 1 < n {
+                                if chars[i + 1] == '\n' {
+                                    line += 1;
+                                }
+                                lit.push(chars[i + 1]);
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        ch => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            lit.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Literal(lit),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if starts_raw_string(&chars, i) => {
+                let start_line = line;
+                // Skip prefix letters to the `#`* `"` opener.
+                let mut j = i;
+                while j < n && (chars[j] == 'r' || chars[j] == 'b') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // j is at the opening quote (guaranteed by the guard).
+                j += 1;
+                let content_start = j;
+                let closer: String = std::iter::once('"')
+                    .chain((0..hashes).map(|_| '#'))
+                    .collect();
+                let mut content_end = n;
+                while j < n {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    if chars[j] == '"' && matches_at(&chars, j, &closer) {
+                        content_end = j;
+                        j += closer.len();
+                        break;
+                    }
+                    j += 1;
+                }
+                let lit: String = chars[content_start..content_end.min(n)].iter().collect();
+                out.push(Token {
+                    tok: Tok::Literal(lit),
+                    line: start_line,
+                });
+                i = j.max(i + 1);
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime is `'` + ident
+                // not followed by a closing quote.
+                if i + 1 < n && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_') {
+                    // Find the extent of the ident.
+                    let mut j = i + 1;
+                    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '\'' && j == i + 2 {
+                        // 'x' — a one-char literal.
+                        out.push(Token {
+                            tok: Tok::Literal(chars[i + 1].to_string()),
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        let name: String = chars[i + 1..j].iter().collect();
+                        out.push(Token {
+                            tok: Tok::Lifetime(name),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else if i + 1 < n && chars[i + 1] == '\\' {
+                    // Escaped char literal: skip to closing quote.
+                    let mut j = i + 2;
+                    while j < n && chars[j] != '\'' && chars[j] != '\n' {
+                        j += 1;
+                    }
+                    out.push(Token {
+                        tok: Tok::Literal(chars[i + 1..j.min(n)].iter().collect()),
+                        line,
+                    });
+                    i = (j + 1).min(n);
+                } else {
+                    // '…' with arbitrary content, or a stray quote.
+                    let mut j = i + 1;
+                    while j < n && chars[j] != '\'' && chars[j] != '\n' && j - i < 4 {
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '\'' {
+                        out.push(Token {
+                            tok: Tok::Literal(chars[i + 1..j].iter().collect()),
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        out.push(Token {
+                            tok: Tok::Punct('\''),
+                            line,
+                        });
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(chars[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < n {
+                    let d = chars[j];
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else if d == '.' && !seen_dot && j + 1 < n && chars[j + 1].is_ascii_digit() {
+                        // `1.5` but not `1..x` or `1.method()`.
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Number(chars[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            ':' if i + 1 < n && chars[i + 1] == ':' => {
+                out.push(Token {
+                    tok: Tok::PathSep,
+                    line,
+                });
+                i += 2;
+            }
+            '-' if i + 1 < n && chars[i + 1] == '>' => {
+                out.push(Token {
+                    tok: Tok::Arrow,
+                    line,
+                });
+                i += 2;
+            }
+            c => {
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `true` if position `i` starts a raw/byte string (`r"`, `r#"`,
+/// `br#"`, `b"`, ...).
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut prefix = 0;
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && prefix < 2 {
+        j += 1;
+        prefix += 1;
+    }
+    if prefix == 0 {
+        return false;
+    }
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '"'
+}
+
+fn matches_at(chars: &[char], at: usize, pat: &str) -> bool {
+    pat.chars()
+        .enumerate()
+        .all(|(k, p)| chars.get(at + k) == Some(&p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let toks = lex("fn f() {\n  x.iter();\n}\n");
+        assert!(toks[0].is_ident("fn"));
+        assert_eq!(toks[0].line, 0);
+        let iter = toks.iter().find(|t| t.is_ident("iter")).unwrap();
+        assert_eq!(iter.line, 1);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_code() {
+        let src = "// x.iter()\n/* y.keys() */\nlet s = \"z.values()\";\n";
+        let ids = idents(src);
+        assert!(!ids.contains(&"iter".to_string()));
+        assert!(!ids.contains(&"keys".to_string()));
+        assert!(!ids.contains(&"values".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let src = "let a = r#\"he \"quoted\" ha\"#; /* a /* b */ c */ let b = 1;\n";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Lifetime(l) if l == "a")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Literal(l) if l == "x")));
+    }
+
+    #[test]
+    fn path_sep_and_arrow_fused() {
+        let toks = lex("fn f() -> std::time::Instant {}");
+        assert!(toks.iter().any(|t| t.tok == Tok::Arrow));
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::PathSep).count(), 2);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_floats() {
+        let toks = lex("let x = 1_000u64 + 0.25 + 1.method();");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Number(s) if s == "1_000u64")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Number(s) if s == "0.25")));
+        // `1.method()` lexes 1 as an integer, then `.method`.
+        assert!(toks.iter().any(|t| t.is_ident("method")));
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in [
+            "", "\"", "'", "r#\"", "/*", "\\", "'''", "r###", "0.", "\u{0}", "b'", "'a", "\"\\",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

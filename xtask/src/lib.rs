@@ -1,0 +1,17 @@
+//! The workspace's syntax-aware static-analysis engine.
+//!
+//! Dependency-free by design (the analyzer must never be broken by
+//! the code it audits): a hand-rolled lexer ([`lexer`]), an
+//! item-level workspace model ([`model`]), the line-rule family
+//! ([`lint`]), and the model-level passes plus reporting ([`passes`]).
+//!
+//! The `xtask` binary drives it; integration tests run the passes
+//! over fixture workspaces under `xtask/tests/fixtures/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lint;
+pub mod model;
+pub mod passes;

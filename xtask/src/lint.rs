@@ -1,14 +1,21 @@
-//! The workspace lint pass: a small rule engine over line-based and
-//! light token scanning, enforcing repo invariants that `rustc` and
-//! `clippy` cannot see (builder discipline, unit documentation, the
-//! threading boundary, panic-free library code).
+//! The line-rule family of the workspace analyzer: a small rule
+//! engine over line-based and light token scanning, enforcing repo
+//! invariants that `rustc` and `clippy` cannot see (builder
+//! discipline, unit documentation, the threading boundary, panic-free
+//! library code). The model-level passes (determinism, feature-graph,
+//! trait-conformance) live in [`crate::passes`]; this module keeps
+//! the shared [`SourceFile`] view and suppression machinery.
 //!
 //! Rules are named and individually suppressible: a trailing or
 //! immediately preceding comment `// lint: allow(<rule>)` silences one
-//! rule on one line. Vendored shims under `vendor/` are never linted.
+//! rule on one line (`allow(a, b)` lists several). Every suppression
+//! *use* is recorded so the engine can flag markers that no longer
+//! fire (`unused-suppression`). Vendored shims under `vendor/` and
+//! the analyzer's own fixtures under `xtask/tests/` are never linted.
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::fmt;
-use std::path::{Path, PathBuf};
 
 /// One finding: a rule violated at a file/line.
 #[derive(Clone, Debug)]
@@ -59,6 +66,29 @@ pub struct SourceFile {
     pub code: Vec<String>,
     /// Per-line flag: inside a `#[cfg(test)] mod` block.
     pub in_tests: Vec<bool>,
+    /// Suppression markers that fired: `(marker line0, rule)`.
+    pub used_markers: RefCell<BTreeSet<(usize, String)>>,
+}
+
+/// Parses the rules named by every `lint: allow(...)` marker on
+/// `line`, comma lists included.
+#[must_use]
+pub fn markers_on(line: &str) -> Vec<String> {
+    const PAT: &str = "lint: allow(";
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(at) = rest.find(PAT) {
+        rest = &rest[at + PAT.len()..];
+        let end = rest.find(')').unwrap_or(rest.len());
+        for rule in rest[..end].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.push(rule.to_string());
+            }
+        }
+        rest = &rest[end.min(rest.len())..];
+    }
+    out
 }
 
 impl SourceFile {
@@ -73,20 +103,81 @@ impl SourceFile {
             raw,
             code,
             in_tests,
+            used_markers: RefCell::new(BTreeSet::new()),
         }
+    }
+
+    /// The rules named by genuine suppression markers on line `line0`.
+    ///
+    /// A genuine marker lives in a plain `//` comment. Mentions of the
+    /// syntax inside string literals (test fixtures, messages) or doc
+    /// comments (`///` / `//!` prose describing the mechanism) do not
+    /// count — the comment/string stripper has already blanked string
+    /// contents, so only the real comment tail of the line is parsed.
+    #[must_use]
+    pub fn marker_rules(&self, line0: usize) -> Vec<String> {
+        let (Some(raw), Some(code)) = (self.raw.get(line0), self.code.get(line0)) else {
+            return Vec::new();
+        };
+        // `code` is the raw line truncated at the `//` comment (string
+        // contents blanked char-for-char), so the comment text is the
+        // remaining char tail.
+        let tail: String = raw.chars().skip(code.chars().count()).collect();
+        if tail.starts_with("///") || tail.starts_with("//!") {
+            return Vec::new();
+        }
+        markers_on(&tail)
     }
 
     /// `true` if `rule` is suppressed on `line` (0-based) via a
     /// `lint: allow(<rule>)` marker there or on the previous line.
+    /// Matching markers are recorded as used.
     pub fn suppressed(&self, line: usize, rule: &str) -> bool {
-        let marker = format!("lint: allow({rule})");
-        self.raw.get(line).is_some_and(|l| l.contains(&marker))
-            || (line > 0 && self.raw[line - 1].contains(&marker))
+        let mut hit = false;
+        for cand in [Some(line), line.checked_sub(1)].into_iter().flatten() {
+            if self.marker_rules(cand).iter().any(|r| r == rule) {
+                self.used_markers
+                    .borrow_mut()
+                    .insert((cand, rule.to_string()));
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Marks as used any `lint: allow(rule)` marker on lines
+    /// `start..=end` (0-based) and reports whether one exists — the
+    /// scope-level suppression form used by `batched-warm-path` and
+    /// the trait-conformance pass.
+    pub fn scope_suppressed(&self, start: usize, end: usize, rule: &str) -> bool {
+        let mut hit = false;
+        for off in start..=end.min(self.raw.len().saturating_sub(1)) {
+            if self.marker_rules(off).iter().any(|r| r == rule) {
+                self.used_markers
+                    .borrow_mut()
+                    .insert((off, rule.to_string()));
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Every genuine suppression marker in the file: `(line0, rule)`.
+    #[must_use]
+    pub fn all_markers(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for idx in 0..self.raw.len() {
+            for rule in self.marker_rules(idx) {
+                out.push((idx, rule));
+            }
+        }
+        out
     }
 
     fn is_crate_root(&self) -> bool {
         self.rel == "src/lib.rs"
             || self.rel == "xtask/src/main.rs"
+            || self.rel == "xtask/src/lib.rs"
             || (self.rel.starts_with("crates/") && self.rel.ends_with("/src/lib.rs"))
     }
 
@@ -178,64 +269,21 @@ pub fn rules() -> Vec<Rule> {
     ]
 }
 
-/// Runs every rule over every lintable workspace file under `root`.
-///
-/// # Errors
-///
-/// Returns a message if the workspace cannot be walked or a file
-/// cannot be read.
-pub fn run(root: &Path) -> Result<(Vec<Violation>, usize), String> {
-    let mut files = Vec::new();
-    for top in ["src", "crates", "tests", "examples", "xtask"] {
-        let dir = root.join(top);
-        if dir.is_dir() {
-            walk(&dir, &mut files).map_err(|e| format!("walking {}: {e}", dir.display()))?;
-        }
+/// Runs every line rule over one parsed file, appending violations.
+pub fn check_file(sf: &SourceFile, rule_set: &[Rule], out: &mut Vec<Violation>) {
+    for rule in rule_set {
+        (rule.check)(rule, sf, out);
     }
-    files.sort();
-
-    let rule_set = rules();
-    let mut violations = Vec::new();
-    let mut linted = 0usize;
-    for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let Some(kind) = classify(&rel) else { continue };
-        let content = std::fs::read_to_string(path).map_err(|e| format!("reading {rel}: {e}"))?;
-        let sf = SourceFile::from_source(&rel, kind, &content);
-        for rule in &rule_set {
-            (rule.check)(rule, &sf, &mut violations);
-        }
-        linted += 1;
-    }
-    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok((violations, linted))
-}
-
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name == "vendor" || name == ".git" || name == "results" {
-                continue;
-            }
-            walk(&path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 /// Decides whether and how a workspace-relative path is linted.
 pub fn classify(rel: &str) -> Option<FileKind> {
     if rel.starts_with("vendor/") || rel.contains("/target/") {
+        return None;
+    }
+    if rel.starts_with("xtask/tests/") {
+        // The analyzer's own fixtures and integration tests: fixture
+        // crates deliberately violate every rule.
         return None;
     }
     if !rel.ends_with(".rs") {
@@ -260,12 +308,15 @@ pub fn classify(rel: &str) -> Option<FileKind> {
 
 /// Blanks comments and string-literal contents so token scans only see
 /// code. Quotes are kept (so lines stay aligned); everything between
-/// them becomes spaces.
+/// them becomes spaces. Both block comments and string literals span
+/// lines (Rust strings continue across newlines, escaped or not), so
+/// state persists across the loop.
 fn strip_comments_and_strings(raw: &[String]) -> Vec<String> {
     #[derive(PartialEq)]
     enum State {
         Code,
         Block(u32),
+        Str,
     }
     let mut state = State::Code;
     let mut out = Vec::with_capacity(raw.len());
@@ -293,6 +344,19 @@ fn strip_comments_and_strings(raw: &[String]) -> Vec<String> {
                         i += 1;
                     }
                 }
+                State::Str => {
+                    if chars[i] == '\\' {
+                        buf.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        buf.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        buf.push(' ');
+                        i += 1;
+                    }
+                }
                 State::Code => match chars[i] {
                     '/' if chars.get(i + 1) == Some(&'/') => {
                         // Line comment: drop the rest of the line.
@@ -305,20 +369,8 @@ fn strip_comments_and_strings(raw: &[String]) -> Vec<String> {
                     }
                     '"' => {
                         buf.push('"');
+                        state = State::Str;
                         i += 1;
-                        while i < chars.len() {
-                            if chars[i] == '\\' {
-                                buf.push_str("  ");
-                                i += 2;
-                            } else if chars[i] == '"' {
-                                buf.push('"');
-                                i += 1;
-                                break;
-                            } else {
-                                buf.push(' ');
-                                i += 1;
-                            }
-                        }
                     }
                     '\'' => {
                         // Char literal or lifetime. A char literal closes
@@ -725,8 +777,7 @@ fn check_batched_warm_path(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation
         // purpose: one marker anywhere inside the fn exempts it (the
         // justification comment spans lines, so per-line suppression
         // would not cover every protocol call in the block).
-        let marker = format!("lint: allow({})", rule.name);
-        if !sf.raw[i..=end].iter().any(|l| l.contains(&marker)) {
+        if !sf.scope_suppressed(i, end, rule.name) {
             for k in i..=end {
                 let line = &sf.code[k];
                 let mut from = 0;

@@ -1,19 +1,24 @@
 //! Workspace automation tasks.
 //!
-//! Currently one subcommand:
+//! One subcommand:
 //!
 //! ```text
-//! cargo run -p xtask -- lint [--list]
+//! cargo run -p xtask -- lint [--list] [--json]
 //! ```
 //!
-//! runs the custom repo lint pass (see [`lint`]) over the workspace and
-//! exits nonzero if any rule is violated.
+//! builds the workspace model ([`model`]) and runs every analysis
+//! pass over it ([`passes`]): the line rules, the determinism pass,
+//! the feature-graph pass, the trait-conformance pass, and
+//! unused-suppression detection. `--json` emits the stable
+//! machine-readable report (schema in [`passes::to_json`]); `--list`
+//! prints the rule catalog. Exit codes: 0 clean, 1 findings, 2 usage
+//! or I/O error.
 
 #![forbid(unsafe_code)]
 
-mod lint;
-
 use std::path::PathBuf;
+
+use xtask::{lint, model, passes};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +38,7 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: cargo run -p xtask -- lint [--list]");
+    eprintln!("usage: cargo run -p xtask -- lint [--list] [--json]");
 }
 
 fn workspace_root() -> PathBuf {
@@ -47,36 +52,49 @@ fn workspace_root() -> PathBuf {
 fn cmd_lint(args: &[String]) -> i32 {
     if args.iter().any(|a| a == "--list") {
         for rule in lint::rules() {
-            println!("{:18} {}", rule.name, rule.summary);
+            println!("{:20} [line-rules]        {}", rule.name, rule.summary);
+        }
+        for (name, pass, summary) in passes::PASS_RULES {
+            println!("{name:20} [{pass:<17}] {summary}");
         }
         return 0;
     }
-    if let Some(bad) = args.iter().find(|a| *a != "--list") {
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(bad) = args.iter().find(|a| *a != "--json") {
         eprintln!("unknown lint flag '{bad}'");
         usage();
         return 2;
     }
     let root = workspace_root();
-    match lint::run(&root) {
-        Ok((violations, linted)) => {
-            if violations.is_empty() {
-                println!("lint: {linted} files clean");
-                0
-            } else {
-                for v in &violations {
-                    println!("{v}");
-                }
-                println!(
-                    "lint: {} violation(s) in {linted} files \
-                     (suppress one with `// lint: allow(<rule>)`)",
-                    violations.len()
-                );
-                1
-            }
-        }
+    let ws = match model::Workspace::build(&root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("lint: {e}");
-            2
+            return 2;
         }
+    };
+    let report = passes::run_all(&ws);
+    if json {
+        print!("{}", passes::to_json(&report));
+        return i32::from(!report.findings.is_empty());
+    }
+    if report.findings.is_empty() {
+        println!(
+            "lint: {} files clean ({} finding(s) suppressed)",
+            report.files, report.suppressed
+        );
+        0
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "lint: {} finding(s) in {} files, {} suppressed \
+             (suppress one with `// lint: allow(<rule>)`)",
+            report.findings.len(),
+            report.files,
+            report.suppressed
+        );
+        1
     }
 }

@@ -1,0 +1,141 @@
+//! Trait-conformance pass: every `DirectionPredictor` impl must honor
+//! the batched-surface and test-registry contracts.
+//!
+//! * `batch-override` — the impl overrides *both* `lookup_batch` and
+//!   `commit_batch` (the warm path's throughput surface), or carries a
+//!   `// lint: allow(batch-override)` marker inside the impl block
+//!   documenting a deliberate scalar fallback (the trait-default
+//!   reference implementation).
+//! * `batch-registry` — the type is exercised by the batch
+//!   differential suites (`crates/core/tests/batch_differential.rs`,
+//!   `crates/predictors/tests/batch_protocol.rs`): either named there
+//!   directly, or constructed by `PredictorConfig::build` while the
+//!   suite iterates the named-predictor zoo.
+//! * `audit-registry` — likewise for the audited differential suite
+//!   (`crates/core/tests/audit_differential.rs`).
+//!
+//! Registry membership is textual but identifier-exact: `Bimodal`
+//! does not match `BimodalPower`.
+
+use super::{source_of, Finding};
+use crate::lint::FileKind;
+use crate::model::Workspace;
+
+/// The trait whose impls the pass audits.
+const TRAIT: &str = "DirectionPredictor";
+
+/// Batch differential registries: a conforming type appears in at
+/// least one.
+const BATCH_REGISTRIES: &[&str] = &[
+    "crates/core/tests/batch_differential.rs",
+    "crates/predictors/tests/batch_protocol.rs",
+];
+
+/// Audited differential registries.
+const AUDIT_REGISTRIES: &[&str] = &["crates/core/tests/audit_differential.rs"];
+
+/// The zoo constructor: a type built here is reached by any registry
+/// that iterates the named-predictor list.
+const ZOO: &str = "crates/predictors/src/config.rs";
+
+/// Zoo iteration markers: a registry mentioning either runs every
+/// zoo-constructed type.
+const ZOO_ITERATORS: &[&str] = &["NamedPredictor", "PredictorConfig"];
+
+/// Runs the pass, appending unfiltered findings.
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if file.kind != FileKind::Library {
+            continue;
+        }
+        for imp in &file.impls {
+            if imp.trait_name.as_deref() != Some(TRAIT) {
+                continue;
+            }
+            let ty = &imp.type_name;
+            let scope_allows =
+                |rule: &str| file.source.scope_suppressed(imp.line, imp.end_line, rule);
+
+            if !(imp.methods.contains("lookup_batch") && imp.methods.contains("commit_batch"))
+                && !scope_allows("batch-override")
+            {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: imp.line + 1,
+                    rule: "batch-override".to_string(),
+                    pass: "trait-conformance",
+                    message: format!(
+                        "impl {TRAIT} for {ty} relies on scalar-looping batch defaults; \
+                         override lookup_batch/commit_batch or mark the deliberate fallback \
+                         with `// lint: allow(batch-override)` inside the impl"
+                    ),
+                });
+            }
+
+            if !in_any_registry(ws, ty, BATCH_REGISTRIES) && !scope_allows("batch-registry") {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: imp.line + 1,
+                    rule: "batch-registry".to_string(),
+                    pass: "trait-conformance",
+                    message: format!(
+                        "{ty} is not exercised by the batch differential suites \
+                         ({}); add it to the zoo or a suite",
+                        BATCH_REGISTRIES.join(", ")
+                    ),
+                });
+            }
+
+            if !in_any_registry(ws, ty, AUDIT_REGISTRIES) && !scope_allows("audit-registry") {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: imp.line + 1,
+                    rule: "audit-registry".to_string(),
+                    pass: "trait-conformance",
+                    message: format!(
+                        "{ty} is not exercised by the audited differential suite \
+                         ({}); add it to the zoo or the suite",
+                        AUDIT_REGISTRIES.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `true` if `ty` is reached by one of the registry files: named in
+/// its text, or zoo-constructed while the registry iterates the zoo.
+fn in_any_registry(ws: &Workspace, ty: &str, registries: &[&str]) -> bool {
+    let in_zoo = source_of(ws, ZOO).is_some_and(|sf| mentions_ident(&sf.code, ty));
+    registries.iter().any(|rel| {
+        source_of(ws, rel).is_some_and(|sf| {
+            mentions_ident(&sf.code, ty)
+                || (in_zoo && ZOO_ITERATORS.iter().any(|z| mentions_ident(&sf.code, z)))
+        })
+    })
+}
+
+/// Identifier-exact substring search over comment-stripped lines.
+fn mentions_ident(code: &[String], ident: &str) -> bool {
+    code.iter().any(|line| {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(ident) {
+            let at = from + pos;
+            let end = at + ident.len();
+            let before_ok = at == 0
+                || !line[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let after_ok = !line[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if before_ok && after_ok {
+                return true;
+            }
+            from = end;
+        }
+        false
+    })
+}

@@ -1,0 +1,195 @@
+//! Determinism pass: the sim/cache-key/trace-digest paths must not
+//! read wall clocks, the environment, spawn threads, or iterate
+//! unordered maps — any of those makes run results or cache keys
+//! depend on ambient state instead of `SimConfig`.
+//!
+//! The pass has two layers:
+//!
+//! 1. **Direct taints.** Every function in a *deterministic root* file
+//!    (the crates whose outputs feed figures, cache keys, or trace
+//!    digests) is scanned for taint sites recorded by the model.
+//! 2. **Reachability.** A root function that *calls* a tainted helper
+//!    defined in non-root library code (coarse, name-based, transitive)
+//!    is flagged at the call site's function, naming the chain.
+//!
+//! Allowlisted by construction (the paper-facing exemptions):
+//!
+//! * `crates/core/src/runner.rs` — the one sanctioned threading site;
+//! * `crates/core/src/supervise.rs` — the watchdog reads wall clocks
+//!   to detect hangs; timing never reaches results;
+//! * `crates/fault/` — fault arming reads `BW_FAULT_*` env vars by
+//!   design (deterministic given the env contract);
+//! * `crates/bench/` — the CLI/bench layer is presentation, not sim.
+//!
+//! `Binary` and `Test` files are out of scope, as are `#[cfg(test)]`
+//! regions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::Finding;
+use crate::lint::FileKind;
+use crate::model::{TaintKind, Workspace};
+
+/// Files whose functions are deterministic roots.
+fn is_root(rel: &str) -> bool {
+    const ROOT_DIRS: &[&str] = &[
+        "crates/uarch/src/",
+        "crates/predictors/src/",
+        "crates/workload/src/",
+        "crates/arrays/src/",
+        "crates/power/src/",
+        "crates/trace/src/",
+        "crates/types/src/",
+    ];
+    const ROOT_FILES: &[&str] = &[
+        "crates/core/src/sim.rs",
+        "crates/core/src/runner.rs",
+        "crates/core/src/supervise.rs",
+    ];
+    ROOT_DIRS.iter().any(|d| rel.starts_with(d)) || ROOT_FILES.contains(&rel)
+}
+
+/// Exemptions baked into the pass (distinct from `lint: allow`
+/// markers, which are for site-by-site justifications).
+fn allowlisted(rel: &str, kind: TaintKind) -> bool {
+    if rel.starts_with("crates/bench/") {
+        return true;
+    }
+    match kind {
+        TaintKind::ThreadSpawn => rel == "crates/core/src/runner.rs",
+        TaintKind::WallClock => rel == "crates/core/src/supervise.rs",
+        TaintKind::EnvRead => rel.starts_with("crates/fault/"),
+        TaintKind::MapIter => false,
+    }
+}
+
+/// Call names too generic to propagate taint through — name-based
+/// resolution would connect unrelated functions.
+const NO_PROPAGATE: &[&str] = &[
+    "new", "default", "len", "get", "set", "push", "pop", "insert", "remove", "clone", "next",
+    "build", "run", "write", "read", "main", "from", "into", "clear", "reset", "update", "name",
+    "step", "finish", "record", "with", "init",
+];
+
+/// Runs the pass, appending unfiltered findings (suppression is
+/// applied by the engine).
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    // Layer 1: direct taints in root files.
+    for file in &ws.files {
+        if file.kind != FileKind::Library || !is_root(&file.rel) {
+            continue;
+        }
+        for f in &file.fns {
+            if file.source.in_tests.get(f.line).copied().unwrap_or(false) {
+                continue;
+            }
+            for t in &f.taints {
+                if allowlisted(&file.rel, t.kind) {
+                    continue;
+                }
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: t.line + 1,
+                    rule: t.kind.rule().to_string(),
+                    pass: "determinism",
+                    message: format!(
+                        "`{}` in fn `{}` on a deterministic path ({})",
+                        t.what,
+                        f.name,
+                        why(t.kind)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Layer 2: name-based reachability into non-root library helpers.
+    // Seed: non-root library fns with direct (non-allowlisted) taints.
+    let mut tainted: BTreeMap<String, (String, TaintKind, String)> = BTreeMap::new();
+    let mut helper_calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for file in &ws.files {
+        if file.kind != FileKind::Library || is_root(&file.rel) {
+            continue;
+        }
+        for f in &file.fns {
+            if file.source.in_tests.get(f.line).copied().unwrap_or(false)
+                || NO_PROPAGATE.contains(&f.name.as_str())
+            {
+                continue;
+            }
+            helper_calls
+                .entry(f.name.clone())
+                .or_default()
+                .extend(f.calls.iter().cloned());
+            for t in &f.taints {
+                if allowlisted(&file.rel, t.kind) {
+                    continue;
+                }
+                tainted
+                    .entry(f.name.clone())
+                    .or_insert((file.rel.clone(), t.kind, t.what.clone()));
+            }
+        }
+    }
+    // Transitive closure over the helper graph (small; iterate to a
+    // fixed point).
+    loop {
+        let mut grew = false;
+        for (name, calls) in &helper_calls {
+            if tainted.contains_key(name) {
+                continue;
+            }
+            if let Some(callee) = calls.iter().find(|c| tainted.contains_key(*c)) {
+                let (rel, kind, what) = tainted[callee].clone();
+                tainted.insert(name.clone(), (rel, kind, format!("{what} via {callee}()")));
+                grew = true;
+                break;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Root fns calling tainted helpers.
+    for file in &ws.files {
+        if file.kind != FileKind::Library || !is_root(&file.rel) {
+            continue;
+        }
+        for f in &file.fns {
+            if file.source.in_tests.get(f.line).copied().unwrap_or(false) {
+                continue;
+            }
+            for call in &f.calls {
+                if NO_PROPAGATE.contains(&call.as_str()) {
+                    continue;
+                }
+                let Some((def_rel, kind, what)) = tainted.get(call) else {
+                    continue;
+                };
+                if allowlisted(&file.rel, *kind) {
+                    continue;
+                }
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: f.line + 1,
+                    rule: kind.rule().to_string(),
+                    pass: "determinism",
+                    message: format!(
+                        "fn `{}` calls `{call}()` ({def_rel}), which reaches `{what}` ({})",
+                        f.name,
+                        why(*kind)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn why(kind: TaintKind) -> &'static str {
+    match kind {
+        TaintKind::WallClock => "wall-clock reads make runs time-dependent",
+        TaintKind::EnvRead => "environment reads bypass SimConfig and poison cache keys",
+        TaintKind::ThreadSpawn => "thread creation outside the runner breaks ordered reduction",
+        TaintKind::MapIter => "HashMap/HashSet iteration order is randomized per process",
+    }
+}

@@ -1,0 +1,410 @@
+//! The analysis engine: runs every pass family over a
+//! [`Workspace`](crate::model::Workspace) model, applies suppression
+//! centrally, detects stale suppressions, and renders findings as
+//! text or stable machine-readable JSON.
+//!
+//! Pass families:
+//!
+//! * **line-rules** — the original per-line rules
+//!   ([`crate::lint::rules`]), run over the model's shared
+//!   [`SourceFile`](crate::lint::SourceFile) views;
+//! * **determinism** — [`determinism`]: wall-clock, environment,
+//!   thread-creation and unordered-map-iteration reads reachable from
+//!   the sim/cache-key/trace-digest paths;
+//! * **feature-graph** — [`features`]: `cfg(feature)` use sites
+//!   cross-checked against `Cargo.toml` declarations and feature
+//!   propagation along the dependency chain;
+//! * **trait-conformance** — [`conformance`]: every
+//!   `DirectionPredictor` impl batches or explicitly opts out, and is
+//!   registered in the batch-differential and audit test suites;
+//! * **suppressions** — `unused-suppression`: an `allow` marker that
+//!   no longer fires is itself a finding.
+
+pub mod conformance;
+pub mod determinism;
+pub mod features;
+
+use std::collections::BTreeSet;
+
+use crate::lint::{self, markers_on, SourceFile};
+use crate::model::Workspace;
+
+/// One finding from any pass, ready for reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (`.rs` or `Cargo.toml`).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule name (`det-map-iter`, `feature-undeclared`, ...).
+    pub rule: String,
+    /// Pass family the rule belongs to.
+    pub pass: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The result of a full analysis run.
+pub struct Report {
+    /// Unsuppressed findings, sorted by file/line/rule.
+    pub findings: Vec<Finding>,
+    /// Number of source files analyzed.
+    pub files: usize,
+    /// Number of findings silenced by `lint: allow` markers.
+    pub suppressed: usize,
+}
+
+/// Rule descriptors for `--list`, covering the model-level passes
+/// (line rules list themselves via [`lint::rules`]).
+pub const PASS_RULES: &[(&str, &str, &str)] = &[
+    (
+        "det-wallclock",
+        "determinism",
+        "no Instant/SystemTime reads reachable from the sim/cache-key/trace-digest paths \
+         (watchdog + CLI layers allowlisted)",
+    ),
+    (
+        "det-env-read",
+        "determinism",
+        "no std::env reads on deterministic paths (fault arming + CLI layers allowlisted)",
+    ),
+    (
+        "det-thread-spawn",
+        "determinism",
+        "no thread creation on deterministic paths (bw-core runner allowlisted)",
+    ),
+    (
+        "det-map-iter",
+        "determinism",
+        "no HashMap/HashSet iteration on deterministic paths; use BTreeMap/BTreeSet or sort \
+         before consuming",
+    ),
+    (
+        "feature-undeclared",
+        "feature-graph",
+        "every cfg(feature = \"...\") site must name a feature its crate's Cargo.toml declares",
+    ),
+    (
+        "feature-unpropagated",
+        "feature-graph",
+        "a declared feature must forward to every workspace dependency declaring the same \
+         feature (bw-power -> bw-uarch -> bw-core -> bw-bench chain)",
+    ),
+    (
+        "feature-bad-ref",
+        "feature-graph",
+        "feature enable-lists may only reference real dependencies and features they declare",
+    ),
+    (
+        "batch-override",
+        "trait-conformance",
+        "every DirectionPredictor impl overrides lookup_batch/commit_batch or carries an \
+         explicit scalar-fallback allow inside the impl block",
+    ),
+    (
+        "batch-registry",
+        "trait-conformance",
+        "every DirectionPredictor impl appears in the batch-differential test registries",
+    ),
+    (
+        "audit-registry",
+        "trait-conformance",
+        "every DirectionPredictor impl appears in the audited differential test registries",
+    ),
+    (
+        "unused-suppression",
+        "suppressions",
+        "a lint: allow(...) marker that no longer fires (or names an unknown rule) must be \
+         removed",
+    ),
+];
+
+/// Maps a line-rule name to its pass label.
+const LINE_PASS: &str = "line-rules";
+
+/// Runs every pass over `ws` and returns the report.
+#[must_use]
+pub fn run_all(ws: &Workspace) -> Report {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+
+    // Family 1: line rules. These self-filter suppression (recording
+    // marker usage on the shared SourceFile) — count their silenced
+    // findings by re-running the check unsuppressed is not worth it,
+    // so suppressed counts below cover model passes only.
+    let rule_set = lint::rules();
+    for file in &ws.files {
+        let mut violations = Vec::new();
+        lint::check_file(&file.source, &rule_set, &mut violations);
+        findings.extend(violations.into_iter().map(|v| Finding {
+            file: v.file,
+            line: v.line,
+            rule: v.rule.to_string(),
+            pass: LINE_PASS,
+            message: v.message,
+        }));
+    }
+
+    // Families 2–4: model passes. These emit unfiltered; suppression
+    // is applied here so marker usage is tracked uniformly.
+    let mut raw = Vec::new();
+    determinism::run(ws, &mut raw);
+    features::run(ws, &mut raw);
+    conformance::run(ws, &mut raw);
+    for f in raw {
+        if is_suppressed(ws, &f) {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+
+    // Family 5: unused suppressions. Known rules = line rules + pass
+    // rules; a marker naming anything else can never fire.
+    let known: BTreeSet<&str> = rule_set
+        .iter()
+        .map(|r| r.name)
+        .chain(PASS_RULES.iter().map(|(n, _, _)| *n))
+        .collect();
+    for file in &ws.files {
+        let used = file.source.used_markers.borrow();
+        for (line0, rule) in file.source.all_markers() {
+            if used.contains(&(line0, rule.clone())) {
+                continue;
+            }
+            let message = if known.contains(rule.as_str()) {
+                format!(
+                    "suppression `lint: allow({rule})` no longer fires; remove the stale marker"
+                )
+            } else {
+                format!("suppression names unknown rule `{rule}`")
+            };
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: line0 + 1,
+                rule: "unused-suppression".to_string(),
+                pass: "suppressions",
+                message,
+            });
+        }
+    }
+    // Manifest markers (feature-graph findings live in Cargo.toml).
+    for m in &ws.manifests {
+        for (line0, rule) in manifest_markers(m) {
+            if manifest_marker_used(ws, &m.rel, line0, &rule) {
+                continue;
+            }
+            findings.push(Finding {
+                file: m.rel.clone(),
+                line: line0 + 1,
+                rule: "unused-suppression".to_string(),
+                pass: "suppressions",
+                message: format!(
+                    "suppression `lint: allow({rule})` no longer fires; remove the stale marker"
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Report {
+        findings,
+        files: ws.files.len(),
+        suppressed,
+    }
+}
+
+thread_local! {
+    /// Manifest markers used this run: `(manifest rel, line0, rule)`.
+    /// Manifests have no shared SourceFile to record usage on, and
+    /// passes run strictly before the unused-suppression sweep on the
+    /// same thread.
+    static MANIFEST_USED: std::cell::RefCell<BTreeSet<(String, usize, String)>> =
+        std::cell::RefCell::new(BTreeSet::new());
+}
+
+fn manifest_markers(m: &crate::model::Manifest) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in m.raw.iter().enumerate() {
+        for rule in markers_on(line) {
+            out.push((idx, rule));
+        }
+    }
+    out
+}
+
+fn manifest_marker_used(_ws: &Workspace, rel: &str, line0: usize, rule: &str) -> bool {
+    MANIFEST_USED.with(|u| {
+        u.borrow()
+            .contains(&(rel.to_string(), line0, rule.to_string()))
+    })
+}
+
+/// Suppression check for a model-pass finding: a marker on the finding
+/// line or the one above, in the source file or manifest it points at.
+fn is_suppressed(ws: &Workspace, f: &Finding) -> bool {
+    let line0 = f.line.saturating_sub(1);
+    if let Some(file) = ws.file(&f.file) {
+        return file.source.suppressed(line0, &f.rule);
+    }
+    if let Some(m) = ws.manifests.iter().find(|m| m.rel == f.file) {
+        let mut hit = false;
+        for cand in [Some(line0), line0.checked_sub(1)].into_iter().flatten() {
+            let Some(text) = m.raw.get(cand) else {
+                continue;
+            };
+            if markers_on(text).iter().any(|r| r == &f.rule) {
+                MANIFEST_USED.with(|u| {
+                    u.borrow_mut().insert((m.rel.clone(), cand, f.rule.clone()));
+                });
+                hit = true;
+            }
+        }
+        return hit;
+    }
+    false
+}
+
+/// Resets cross-run suppression bookkeeping (tests run several
+/// workspaces on one thread).
+pub fn reset_marker_state() {
+    MANIFEST_USED.with(|u| u.borrow_mut().clear());
+}
+
+/// A source file's `SourceFile` view, for passes that read registry
+/// files directly.
+#[must_use]
+pub fn source_of<'a>(ws: &'a Workspace, rel: &str) -> Option<&'a SourceFile> {
+    ws.file(rel).map(|f| &f.source)
+}
+
+// ---------------------------------------------------------------------
+// JSON rendering (hand-rolled; the engine stays dependency-free — the
+// round-trip through the vendored serde shim happens in tests)
+// ---------------------------------------------------------------------
+
+/// Schema version of [`to_json`] output. Bump on any shape change.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+/// Renders the report as stable, pretty-printed JSON:
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "files": 93,
+///   "suppressed": 4,
+///   "findings": [
+///     {"file": "...", "line": 7, "rule": "...", "pass": "...", "message": "..."}
+///   ]
+/// }
+/// ```
+#[must_use]
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"files\": {},\n  \"suppressed\": {},\n",
+        report.files, report.suppressed
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!(
+            "\"file\": {}, \"line\": {}, \"rule\": {}, \"pass\": {}, \"message\": {}",
+            json_str(&f.file),
+            f.line,
+            json_str(&f.rule),
+            json_str(f.pass),
+            json_str(&f.message)
+        ));
+        out.push('}');
+    }
+    if report.findings.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str(&format!("  \"count\": {}\n}}\n", report.findings.len()));
+    out
+}
+
+/// JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn json_shape_empty_and_nonempty() {
+        let empty = Report {
+            findings: vec![],
+            files: 3,
+            suppressed: 0,
+        };
+        let j = to_json(&empty);
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"count\": 0"));
+
+        let one = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: "det-map-iter".into(),
+                pass: "determinism",
+                message: "m.iter()".into(),
+            }],
+            files: 3,
+            suppressed: 1,
+        };
+        let j = to_json(&one);
+        assert!(j.contains("\"rule\": \"det-map-iter\""));
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"suppressed\": 1"));
+    }
+
+    #[test]
+    fn markers_on_parses_lists() {
+        assert_eq!(markers_on("x // lint: allow(unwrap)"), vec!["unwrap"]);
+        assert_eq!(
+            markers_on("// lint: allow(det-env-read, det-wallclock)"),
+            vec!["det-env-read", "det-wallclock"]
+        );
+        assert!(markers_on("no markers here").is_empty());
+    }
+}

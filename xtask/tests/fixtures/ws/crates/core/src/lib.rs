@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Core fixture crate: reachability seed for the determinism pass.
+
+pub mod sim;
+pub mod util;

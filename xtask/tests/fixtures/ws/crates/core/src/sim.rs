@@ -1,0 +1,14 @@
+//! Deterministic-root file that reaches a tainted helper defined in
+//! non-root library code (crates/core/src/util.rs).
+
+use crate::util::stamp_digest;
+
+/// det-wallclock via reachability: `stamp_digest` reads the clock.
+pub fn simulate_once() -> u64 {
+    stamp_digest()
+}
+
+/// Clean root function.
+pub fn simulate_clean(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,7 @@
+//! Non-root helper module: its taints only matter when a root
+//! function reaches them.
+
+/// Tainted helper (wall-clock read) — not itself on a root path.
+pub fn stamp_digest() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+//! Fixture audited-differential registry: iterates the zoo.
+
+#[test]
+fn audited_matches_unaudited() {
+    for name in NamedPredictor::FIGURE_ORDER {
+        let _ = name;
+    }
+}

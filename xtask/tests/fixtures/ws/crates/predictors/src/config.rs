@@ -1,0 +1,10 @@
+//! Fixture zoo: the named-predictor constructor. A type built here is
+//! reached by every registry that iterates `NamedPredictor`.
+
+/// Builds a named predictor.
+pub fn build(name: &str) -> Option<Good> {
+    match name {
+        "good" => Some(Good),
+        _ => None,
+    }
+}

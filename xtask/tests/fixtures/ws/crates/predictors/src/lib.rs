@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Trait-conformance fixture: a conforming impl, a violating impl,
+//! and an impl that opts out with scope markers.
+
+pub mod config;
+
+/// Conforming: overrides the batched surface and is zoo-constructed.
+pub struct Good;
+
+/// Violating: scalar defaults, registered nowhere.
+pub struct NoBatch;
+
+/// Opted out: scalar fallback justified inside the impl block.
+pub struct Opted;
+
+impl DirectionPredictor for Good {
+    fn lookup(&mut self, pc: u64) -> bool {
+        pc & 1 == 0
+    }
+    fn lookup_batch(&mut self, batch: &[u64], out: &mut [bool]) {
+        for (i, &pc) in batch.iter().enumerate() {
+            out[i] = pc & 1 == 0;
+        }
+    }
+    fn commit_batch(&mut self, _batch: &[u64]) {}
+}
+
+impl DirectionPredictor for NoBatch {
+    fn lookup(&mut self, pc: u64) -> bool {
+        pc & 1 == 0
+    }
+}
+
+impl DirectionPredictor for Opted {
+    // Deliberate scalar fallback kept as the trait-default reference.
+    // lint: allow(batch-override)
+    // lint: allow(batch-registry)
+    // lint: allow(audit-registry)
+    fn lookup(&mut self, pc: u64) -> bool {
+        pc & 1 == 0
+    }
+}

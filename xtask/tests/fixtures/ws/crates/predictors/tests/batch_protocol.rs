@@ -1,0 +1,8 @@
+//! Fixture batch-protocol registry: iterates the named-predictor zoo.
+
+#[test]
+fn protocol_holds_for_zoo() {
+    for name in NamedPredictor::FIGURE_ORDER {
+        let _ = name;
+    }
+}

@@ -1,0 +1,55 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Determinism-pass fixture: every taint kind, one clean control, one
+//! suppressed site, and an undeclared feature reference.
+
+use std::collections::HashMap;
+
+#[cfg(feature = "nonexistent")]
+pub mod gated;
+
+#[cfg(feature = "audit")]
+pub mod audited;
+
+/// Map-typed field for receiver resolution.
+pub struct Tables {
+    hot: HashMap<u64, u64>,
+    rows: Vec<u64>,
+}
+
+/// det-wallclock: direct wall-clock read.
+pub fn wall_elapsed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+/// det-env-read: ambient configuration.
+pub fn ambient_seed() -> u64 {
+    std::env::var("BW_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+/// det-thread-spawn (and the thread-spawn line rule).
+pub fn spawn_helper() {
+    std::thread::spawn(|| {});
+}
+
+impl Tables {
+    /// det-map-iter: unordered iteration over a map-typed field.
+    pub fn checksum(&self) -> u64 {
+        let mut s = 0;
+        for (_, v) in self.hot.iter() {
+            s += v;
+        }
+        s
+    }
+
+    /// Clean: Vec iteration is ordered.
+    pub fn total(&self) -> u64 {
+        self.rows.iter().sum()
+    }
+}
+
+/// Suppressed wall-clock read: the marker keeps it quiet and counted.
+pub fn excused_timing() -> std::time::Instant {
+    std::time::Instant::now() // lint: allow(det-wallclock)
+}

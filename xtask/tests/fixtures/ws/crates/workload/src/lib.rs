@@ -1,0 +1,17 @@
+//! Line-rule fixture: missing crate-root attributes, an unwrap, a
+//! suppressed unwrap, and a stale suppression marker.
+
+/// unwrap: flagged in library code.
+pub fn risky(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+/// Clean line carrying a marker that never fires: unused-suppression.
+pub fn fine(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0) // lint: allow(unwrap)
+}
+
+/// Suppressed unwrap: quiet, and the marker counts as used.
+pub fn hedged(v: &[u32]) -> u32 {
+    *v.first().unwrap() // lint: allow(unwrap)
+}

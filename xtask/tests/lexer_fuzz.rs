@@ -1,0 +1,35 @@
+//! Property test: the lexer is run over every workspace file on every
+//! lint invocation and over raw fixture bytes — it must never panic,
+//! whatever soup it is fed.
+
+use proptest::prelude::*;
+
+use xtask::lexer::lex;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (lossily decoded, as the engine would see a
+    /// file with invalid UTF-8 replaced) lexes without panicking, and
+    /// token line numbers never exceed the line count of the input.
+    #[test]
+    fn lexer_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let toks = lex(&src);
+        let lines = src.lines().count() + 1;
+        for t in &toks {
+            prop_assert!(t.line < lines + 1, "line {} out of range", t.line);
+        }
+    }
+
+    /// Structured soup: quote/comment/brace-heavy strings (the lexer's
+    /// hard cases) drawn from a small alphabet.
+    #[test]
+    fn lexer_never_panics_on_delimiter_soup(picks in proptest::collection::vec(0usize..12, 0..64)) {
+        const ALPHABET: [&str; 12] = [
+            "\"", "'", "r#\"", "\"#", "/*", "*/", "//", "\\", "\n", "b'", "::", "ident ",
+        ];
+        let src: String = picks.iter().map(|&i| ALPHABET[i]).collect();
+        let _ = lex(&src);
+    }
+}
