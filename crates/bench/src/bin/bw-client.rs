@@ -1,0 +1,192 @@
+//! `bw-client` — ad-hoc client for the `bw-server` simulation daemon.
+//!
+//! Submits a benchmark × predictor grid of cells to a running daemon
+//! and prints one line per cell as results stream back, plus a final
+//! tally. Also exposes the daemon's counters (`--stats`).
+//!
+//! ```text
+//! bw-client --server 127.0.0.1:7381 --bench gzip,gcc --predictors Bim_4k,Gsh_1_16k_12 --quick
+//! bw-client --server unix:/tmp/bw.sock --stats
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use bw_core::zoo::NamedPredictor;
+use bw_core::SimConfig;
+use bw_server::{predictor_by_label, CellSpec, CellStatus, Client};
+
+const USAGE: &str = "\
+bw-client — submit simulation cells to a bw-server daemon
+
+USAGE:
+  bw-client [OPTIONS]
+
+OPTIONS:
+  --server ADDR      Daemon address: host:port or unix:/path
+                     (default 127.0.0.1:7381)
+  --bench LIST       Comma-separated benchmark names (default gzip)
+  --predictors LIST  Comma-separated zoo labels, or `figure` for the
+                     paper's fourteen configurations (default Bim_4k)
+  --quick | --paper  Instruction budgets (default --paper)
+  --warmup N         Explicit warmup budget
+  --measure N        Explicit measured budget
+  --seed N           Workload seed
+  --banked           Bank the direction predictor
+  --stats            Print daemon counters and exit
+  --help             Show this help
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bw-client: {msg}");
+    eprintln!("run with --help for usage");
+    ExitCode::from(2)
+}
+
+fn parse_num(v: String) -> Result<u64, String> {
+    v.replace('_', "")
+        .parse::<u64>()
+        .map_err(|e| format!("`{v}`: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut server = "127.0.0.1:7381".to_string();
+    let mut benches = vec!["gzip".to_string()];
+    let mut predictors = vec!["Bim_4k".to_string()];
+    let mut cfg = SimConfig::paper(0xb4a2);
+    let mut stats_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--server" => match value("--server") {
+                Ok(v) => server = v,
+                Err(e) => return fail(&e),
+            },
+            "--bench" => match value("--bench") {
+                Ok(v) => benches = v.split(',').map(str::to_string).collect(),
+                Err(e) => return fail(&e),
+            },
+            "--predictors" => match value("--predictors") {
+                Ok(v) if v == "figure" => {
+                    predictors = NamedPredictor::FIGURE_ORDER
+                        .iter()
+                        .map(|p| p.label().to_string())
+                        .collect();
+                }
+                Ok(v) => predictors = v.split(',').map(str::to_string).collect(),
+                Err(e) => return fail(&e),
+            },
+            "--quick" => {
+                cfg.warmup_insts = 600_000;
+                cfg.measure_insts = 200_000;
+            }
+            "--paper" => {
+                cfg.warmup_insts = 3_000_000;
+                cfg.measure_insts = 1_000_000;
+            }
+            "--warmup" => match value("--warmup").and_then(parse_num) {
+                Ok(n) => cfg.warmup_insts = n,
+                Err(e) => return fail(&format!("--warmup: {e}")),
+            },
+            "--measure" => match value("--measure").and_then(parse_num) {
+                Ok(n) => cfg.measure_insts = n,
+                Err(e) => return fail(&format!("--measure: {e}")),
+            },
+            "--seed" => match value("--seed").and_then(parse_num) {
+                Ok(n) => cfg.seed = n,
+                Err(e) => return fail(&format!("--seed: {e}")),
+            },
+            "--banked" => cfg.banked = true,
+            "--stats" => stats_only = true,
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut client = match Client::connect(&server) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("cannot reach daemon at {server}: {e}")),
+    };
+    eprintln!(
+        "connected to {server} (quota {}, queue {})",
+        client.quota(),
+        client.queue_capacity()
+    );
+
+    if stats_only {
+        match client.stats() {
+            Ok((executed, queued, inflight)) => {
+                println!("executed {executed}  queued {queued}  inflight {inflight}");
+                client.bye();
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => return fail(&format!("stats: {e}")),
+        }
+    }
+
+    // Validate predictor labels locally so typos fail before the
+    // round-trip (the daemon would refuse them per cell anyway).
+    for label in &predictors {
+        if predictor_by_label(label).is_none() {
+            return fail(&format!(
+                "unknown predictor label `{label}` (try --predictors figure)"
+            ));
+        }
+    }
+
+    let mut specs = Vec::new();
+    let mut labels = Vec::new();
+    for label in &predictors {
+        for bench in &benches {
+            let predictor = predictor_by_label(label).expect("validated above");
+            specs.push(CellSpec::for_run(bench, predictor, &cfg));
+            labels.push(format!("{label} / {bench}"));
+        }
+    }
+
+    let replies = match client.run_cells(1, &specs) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("submit: {e}")),
+    };
+    client.bye();
+
+    let (mut ok, mut refused, mut failed) = (0u64, 0u64, 0u64);
+    for reply in &replies {
+        let label = labels.get(reply.cell as usize).map_or("?", String::as_str);
+        match &reply.status {
+            CellStatus::Ok(value) => {
+                use serde::Deserialize;
+                ok += 1;
+                match bw_core::RunResult::from_value(value) {
+                    Ok(run) => println!(
+                        "{label:28} ok    acc {:6.2}%  ipc {:5.3}  bpred {:6.1} mW  total {:6.2} W",
+                        run.accuracy() * 100.0,
+                        run.ipc(),
+                        run.bpred_power_w() * 1e3,
+                        run.total_power_w(),
+                    ),
+                    Err(e) => println!("{label:28} ok    (undecodable result: {})", e.0),
+                }
+            }
+            CellStatus::Refused { reason, detail } => {
+                refused += 1;
+                println!("{label:28} refused ({}): {detail}", reason.as_str());
+            }
+            CellStatus::Failed { outcome, detail } => {
+                failed += 1;
+                println!("{label:28} failed ({outcome}): {detail}");
+            }
+        }
+    }
+    println!("{ok} ok, {refused} refused, {failed} failed");
+    if refused + failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

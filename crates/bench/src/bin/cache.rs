@@ -6,6 +6,9 @@
 //! * `repair` — same scan, then evict every corrupt entry and stray
 //!   `.tmp` staging file (stale entries are left alone — they are
 //!   replaced lazily on the next store of their key). Exits 0.
+//!   With `--migrate`, first moves legacy flat-layout entries into
+//!   their two-level shard subdirectories (a pure rename pass, safe
+//!   to re-run).
 //!
 //! Both accept `--cache-dir DIR` (default `results/cache`).
 
@@ -16,7 +19,7 @@ use std::path::PathBuf;
 use bw_core::RunCache;
 
 fn usage() -> ! {
-    eprintln!("usage: cache <verify|repair> [--cache-dir DIR]");
+    eprintln!("usage: cache <verify|repair> [--cache-dir DIR] [--migrate]");
     std::process::exit(2);
 }
 
@@ -24,6 +27,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode: Option<String> = None;
     let mut dir: Option<PathBuf> = None;
+    let mut migrate = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,14 +39,23 @@ fn main() {
                     None => usage(),
                 }
             }
+            "--migrate" => migrate = true,
             _ => usage(),
         }
         i += 1;
     }
     let Some(mode) = mode else { usage() };
+    if migrate && mode != "repair" {
+        eprintln!("--migrate only applies to `repair`");
+        usage();
+    }
     let cache = RunCache::new(dir.unwrap_or_else(RunCache::default_dir));
     println!("cache dir: {}", cache.dir().display());
 
+    if migrate {
+        let moved = cache.migrate();
+        println!("migrated {moved} flat entr(ies) into shard subdirectories");
+    }
     let audit = match mode.as_str() {
         "verify" => cache.verify_dir(),
         _ => cache.repair(),

@@ -30,6 +30,12 @@
 //!   supervised runs (default: none).
 //! * `--retries N` — attempts per supervised run (default 2, i.e. one
 //!   retry with backoff).
+//! * `--server ADDR` — sweep binaries only: submit the cells to a
+//!   shared `bw-server` daemon (`host:port` or `unix:/path`) instead
+//!   of simulating locally, and render from the streamed results. The
+//!   daemon deduplicates in-flight cells across every connected
+//!   client and serves its shared run cache. Incompatible with
+//!   `--trace` and `--audit` (those are local-execution modes).
 //!
 //! Builds with the `fault-inject` feature additionally honour the
 //! `BW_FAULT` environment variable (`kind[:param][xN]@target` clauses,
@@ -45,6 +51,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod remote;
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -85,6 +93,9 @@ pub struct Cli {
     pub run_timeout: Option<u64>,
     /// Attempts per supervised run (`--retries N` means N attempts).
     pub retries: Option<u32>,
+    /// Run the sweep on a shared `bw-server` daemon at this address
+    /// (`--server ADDR`; sweep binaries).
+    pub server: Option<String>,
 }
 
 impl Cli {
@@ -110,6 +121,7 @@ impl Cli {
             fail_fast: false,
             run_timeout: None,
             retries: None,
+            server: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -161,6 +173,10 @@ impl Cli {
                 "--cache-dir" => {
                     i += 1;
                     cli.cache_dir = Some(PathBuf::from(parse_path(&args, i, "--cache-dir")));
+                }
+                "--server" => {
+                    i += 1;
+                    cli.server = Some(parse_path(&args, i, "--server"));
                 }
                 other => bad_flag(&format!("unknown flag '{other}'")),
             }
@@ -234,7 +250,7 @@ fn bad_flag(msg: &str) -> ! {
         "usage: [--quick|--paper] [--warmup N] [--measure N] [--seed N] \
          [--csv FILE] [--jobs N] [--no-cache] [--cache-dir DIR] [--audit] \
          [--trace FILE] [--keep-going|--fail-fast] [--run-timeout SECS] \
-         [--retries N]"
+         [--retries N] [--server ADDR]"
     );
     std::process::exit(2);
 }
@@ -332,6 +348,37 @@ pub fn sweep_figure_main(
     render: impl FnOnce(&[SweepRow]) -> String,
 ) {
     let cli = Cli::parse();
+    if let Some(addr) = &cli.server {
+        if cli.trace.is_some() {
+            bad_flag("--server and --trace are incompatible (trace replay is local)");
+        }
+        if cli.audit {
+            bad_flag("--server and --audit are incompatible (the sanitizer is local)");
+        }
+        let sweep = match remote::remote_sweep_rows(addr, suite, &cli.cfg, progress_line()) {
+            Ok(sweep) => sweep,
+            Err(e) => {
+                eprintln!("\nremote sweep via {addr}: {e}");
+                std::process::exit(2);
+            }
+        };
+        progress_done();
+        if let Some(path) = &cli.csv {
+            write_csv(path, &csv(&sweep.rows));
+        }
+        if !title.is_empty() {
+            println!("{title}\n");
+        }
+        println!("{}", render(&sweep.rows));
+        if sweep.is_degraded() {
+            for f in &sweep.failures {
+                eprintln!("  failed: {f}");
+            }
+            eprintln!("  {}", sweep.summary());
+            std::process::exit(1);
+        }
+        return;
+    }
     let runner = cli.runner();
     let (rows, set) = if cli.fail_fast {
         let rows = match &cli.trace {
@@ -473,6 +520,15 @@ mod tests {
         // --keep-going (the default) undoes --fail-fast.
         assert!(!parse(&["--fail-fast", "--keep-going"]).fail_fast);
         assert!(!parse(&[]).fail_fast);
+    }
+
+    #[test]
+    fn server_flag_is_parsed() {
+        assert!(parse(&[]).server.is_none());
+        assert_eq!(
+            parse(&["--server", "127.0.0.1:7381"]).server.as_deref(),
+            Some("127.0.0.1:7381")
+        );
     }
 
     #[test]

@@ -58,7 +58,8 @@ pub use sim::{
 #[cfg(feature = "audit")]
 pub use supervise::supervision_violations;
 pub use supervise::{
-    CancelToken, Cancelled, RunFailure, RunOutcome, SupervisedRunSet, Supervision, QUARANTINE_FILE,
+    CancelToken, Cancelled, QuarantineView, RunFailure, RunOutcome, SupervisedRunSet, Supervision,
+    QUARANTINE_FILE,
 };
 
 /// Atomic filesystem helpers (re-export of [`bw_types::fsutil`]): the

@@ -856,7 +856,14 @@ impl CacheAudit {
 /// A persistent content-addressed store of completed runs.
 ///
 /// One JSON file per [`RunKey`] under the cache directory, named
-/// `<benchmark>-<key digest>.json`. Each file is an outer envelope —
+/// `<benchmark>-<key digest>.json` inside a two-level layout: entries
+/// fan out into 256 shard subdirectories keyed by the top byte of the
+/// key digest (`<dir>/<aa>/<benchmark>-<digest>.json`), so a corpus of
+/// thousands of `name@digest` trace entries does not pile into one
+/// flat directory. Caches written by earlier versions stored entries
+/// flat at the root; [`load_checked`] still reads those transparently,
+/// and [`migrate`](RunCache::migrate) moves them into their shards.
+/// Each file is an outer envelope —
 /// format version, FNV-1a checksum, and the serialized identity +
 /// result payload as one string — so [`load_checked`] distinguishes a
 /// *stale* entry (old format version: silently a miss) from a
@@ -907,12 +914,12 @@ impl RunCache {
         &self.dir
     }
 
-    /// The file a key's result lives at. The workload name is
-    /// sanitized for the filesystem (trace ids carry `@` and arbitrary
-    /// user-supplied names); identity lives in the digest, the name is
-    /// only there for humans browsing the cache directory.
-    #[must_use]
-    pub fn path_for(&self, key: &RunKey) -> PathBuf {
+    /// The file name (without directory) a key's result is stored
+    /// under. The workload name is sanitized for the filesystem (trace
+    /// ids carry `@` and arbitrary user-supplied names); identity
+    /// lives in the digest, the name is only there for humans browsing
+    /// the cache directory.
+    fn file_name_for(key: &RunKey) -> String {
         let name: String = key
             .benchmark()
             .chars()
@@ -924,7 +931,41 @@ impl RunCache {
                 }
             })
             .collect();
-        self.dir.join(format!("{name}-{:016x}.json", key.digest()))
+        format!("{name}-{:016x}.json", key.digest())
+    }
+
+    /// The shard subdirectory name for a key digest: the digest's top
+    /// byte as two hex characters, giving a 256-way fan-out.
+    fn shard_name(digest: u64) -> String {
+        format!("{:02x}", digest >> 56)
+    }
+
+    /// `true` for directory names that are shard subdirectories.
+    /// (Only the serde-gated directory walks consult this.)
+    #[cfg(any(feature = "serde", test))]
+    fn is_shard_name(name: &str) -> bool {
+        name.len() == 2
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+    }
+
+    /// The file a key's result lives at in the sharded layout:
+    /// `<dir>/<shard>/<benchmark>-<digest>.json`.
+    #[must_use]
+    pub fn path_for(&self, key: &RunKey) -> PathBuf {
+        self.dir
+            .join(Self::shard_name(key.digest()))
+            .join(Self::file_name_for(key))
+    }
+
+    /// Where the pre-sharding flat layout stored this key. Still read
+    /// transparently on a sharded-path miss, so old caches keep
+    /// serving hits; [`migrate`](RunCache::migrate) moves such entries
+    /// into their shards.
+    #[must_use]
+    pub fn legacy_path_for(&self, key: &RunKey) -> PathBuf {
+        self.dir.join(Self::file_name_for(key))
     }
 
     /// Loads a cached result, or `None` on miss / stale format /
@@ -950,9 +991,20 @@ impl RunCache {
     #[cfg(feature = "serde")]
     pub fn load_checked(&self, key: &RunKey) -> CacheLookup {
         use serde::{Deserialize, Value};
-        let path = self.path_for(key);
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            return CacheLookup::Miss;
+        // Probe the sharded location first, then fall back to the
+        // pre-sharding flat layout so old caches keep serving hits.
+        let (path, text) = {
+            let sharded = self.path_for(key);
+            match std::fs::read_to_string(&sharded) {
+                Ok(text) => (sharded, text),
+                Err(_) => {
+                    let legacy = self.legacy_path_for(key);
+                    match std::fs::read_to_string(&legacy) {
+                        Ok(text) => (legacy, text),
+                        Err(_) => return CacheLookup::Miss,
+                    }
+                }
+            }
         };
         let corrupt = || CacheLookup::Corrupt(path.clone());
         let Ok(v) = serde_json::parse_value_str(&text) else {
@@ -1030,7 +1082,12 @@ impl RunCache {
             ("payload".into(), Value::Str(payload_text)),
         ]);
         if let Ok(text) = serde_json::to_string_pretty(&v) {
-            let _ = bw_types::fsutil::atomic_write(&self.path_for(key), text.as_bytes());
+            if bw_types::fsutil::atomic_write(&self.path_for(key), text.as_bytes()).is_ok() {
+                // The sharded entry now supersedes any flat-layout
+                // leftover for the same key; drop it so verify passes
+                // don't double-count the identity.
+                self.evict(&self.legacy_path_for(key));
+            }
         }
     }
 
@@ -1046,14 +1103,33 @@ impl RunCache {
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return audit;
         };
-        let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        // Root entries (legacy flat layout plus the quarantine ledger)
+        // and the contents of shard subdirectories; other directories
+        // are not ours to judge.
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for e in entries.filter_map(Result::ok) {
+            let path = e.path();
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if Self::is_shard_name(&name) {
+                    if let Ok(sub) = std::fs::read_dir(&path) {
+                        paths.extend(sub.filter_map(|e| e.ok().map(|e| e.path())));
+                    }
+                }
+                continue;
+            }
+            paths.push(path);
+        }
         paths.sort();
         for path in paths {
             let name = path
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            if name == QUARANTINE_FILE || path.is_dir() {
+            if name == QUARANTINE_FILE {
                 continue;
             }
             if name.ends_with(".tmp") {
@@ -1106,6 +1182,54 @@ impl RunCache {
             self.evict(path);
         }
         audit
+    }
+
+    /// Moves legacy flat-layout entries into their shard
+    /// subdirectories, returning how many files moved.
+    ///
+    /// Only files matching the cache naming scheme
+    /// (`<name>-<16 hex digits>.json`) are touched; the digest in the
+    /// file name decides the shard, so even a stale-format entry lands
+    /// where its next store would. Corrupt files that happen to carry
+    /// a well-formed name move too — [`repair`](RunCache::repair)
+    /// remains the tool that deletes them. Purely a rename pass: needs
+    /// no `serde`, safe to re-run, a no-op on an already-sharded (or
+    /// missing) cache.
+    pub fn migrate(&self) -> usize {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| !p.is_dir())
+            .collect();
+        paths.sort();
+        let mut moved = 0;
+        for path in paths {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let Some(digest_hex) = name
+                .strip_suffix(".json")
+                .and_then(|stem| stem.rsplit_once('-'))
+                .map(|(_, d)| d)
+                .filter(|d| d.len() == 16 && d.bytes().all(|b| b.is_ascii_hexdigit()))
+            else {
+                continue; // quarantine.json, stray tmp, foreign files
+            };
+            let Ok(digest) = u64::from_str_radix(digest_hex, 16) else {
+                continue;
+            };
+            let shard = self.dir.join(Self::shard_name(digest));
+            if std::fs::create_dir_all(&shard).is_err() {
+                continue;
+            }
+            if std::fs::rename(&path, shard.join(&name)).is_ok() {
+                moved += 1;
+            }
+        }
+        moved
     }
 
     /// Probes the cache — inert without the `serde` feature.
@@ -1210,5 +1334,72 @@ mod tests {
         let labels = Mutex::new(Vec::new());
         Runner::serial().run(&plan, |l| labels.lock().unwrap().push(l.to_string()));
         assert_eq!(labels.into_inner().unwrap(), vec!["custom label"]);
+    }
+
+    #[test]
+    fn cache_paths_shard_by_digest_prefix() {
+        let cache = RunCache::new("some-dir");
+        let key = RunKey::new(
+            benchmark("gzip").unwrap(),
+            NamedPredictor::Bim4k.config(),
+            &SimConfig::quick(1),
+        );
+        let path = cache.path_for(&key);
+        let shard = path
+            .parent()
+            .and_then(|p| p.file_name())
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap();
+        assert_eq!(shard, format!("{:02x}", key.digest() >> 56));
+        assert!(RunCache::is_shard_name(&shard));
+        assert!(!RunCache::is_shard_name("ab c"));
+        assert!(!RunCache::is_shard_name("AB"));
+        assert!(!RunCache::is_shard_name("abc"));
+        // The legacy path is the same file name, flat at the root.
+        assert_eq!(
+            cache.legacy_path_for(&key).file_name(),
+            path.file_name(),
+            "flat and sharded layouts share the file name"
+        );
+        assert_eq!(cache.legacy_path_for(&key).parent().unwrap(), cache.dir());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn cache_reads_legacy_flat_entries_and_migrates_them() {
+        let dir = std::env::temp_dir().join(format!("bw-cache-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RunCache::new(&dir);
+        let cfg = SimConfig::quick(11);
+        let m = benchmark("gzip").unwrap();
+        let key = RunKey::new(m, NamedPredictor::Bim128.config(), &cfg);
+        let result = crate::sim::simulate(m, NamedPredictor::Bim128.config(), &cfg);
+
+        // Simulate a pre-sharding cache: store, then move the entry to
+        // the flat location an old version would have used.
+        cache.store(&key, &result);
+        std::fs::rename(cache.path_for(&key), cache.legacy_path_for(&key)).unwrap();
+        assert!(
+            matches!(cache.load_checked(&key), CacheLookup::Hit(_)),
+            "flat legacy entries must keep serving hits"
+        );
+
+        // Migration moves it into its shard; reads keep working.
+        assert_eq!(cache.migrate(), 1);
+        assert!(!cache.legacy_path_for(&key).exists());
+        assert!(cache.path_for(&key).is_file());
+        assert!(matches!(cache.load_checked(&key), CacheLookup::Hit(_)));
+        assert_eq!(cache.migrate(), 0, "already sharded: nothing to move");
+
+        // verify_dir descends into shards and still counts the entry.
+        let audit = cache.verify_dir();
+        assert_eq!(audit.ok, 1, "{}", audit.summary());
+        assert!(audit.is_clean());
+
+        // A fresh store of the same key evicts a flat-layout leftover.
+        std::fs::copy(cache.path_for(&key), cache.legacy_path_for(&key)).unwrap();
+        cache.store(&key, &result);
+        assert!(!cache.legacy_path_for(&key).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

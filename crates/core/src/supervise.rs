@@ -687,6 +687,48 @@ impl Quarantine {
     pub(crate) fn save(&self) {}
 }
 
+/// A read-only snapshot of the quarantine ledger beside a run cache.
+///
+/// Services fronting the runner (the `bw-server` daemon) use this at
+/// admission time: a key whose recorded failures have crossed the
+/// supervision threshold is refused fast with a typed error instead of
+/// rediscovering the failure per request. Like the supervised runner's
+/// own load, a missing or malformed ledger is an empty view; without
+/// the `serde` feature the view is always empty (nothing persists the
+/// ledger either).
+pub struct QuarantineView {
+    entries: BTreeMap<u64, (u32, String)>,
+}
+
+impl QuarantineView {
+    /// Loads the ledger stored beside the cache rooted at `cache_dir`.
+    #[must_use]
+    pub fn load(cache_dir: &std::path::Path) -> Self {
+        let q = Quarantine::load(cache_dir.join(QUARANTINE_FILE));
+        QuarantineView {
+            entries: q
+                .entries
+                .iter()
+                .map(|(&d, e)| (d, (e.failures, e.last_error.clone())))
+                .collect(),
+        }
+    }
+
+    /// Recorded failures for a key digest: `(count, last error)`.
+    #[must_use]
+    pub fn failures(&self, digest: u64) -> Option<(u32, &str)> {
+        self.entries.get(&digest).map(|(n, e)| (*n, e.as_str()))
+    }
+
+    /// `true` when `digest` has at least `threshold` recorded failures
+    /// — the same admission rule the supervised runner applies via
+    /// [`Supervision::quarantine_after`].
+    #[must_use]
+    pub fn is_quarantined(&self, digest: u64, threshold: u32) -> bool {
+        self.failures(digest).is_some_and(|(n, _)| n >= threshold)
+    }
+}
+
 // ---------------------------------------------------------------------
 // Supervision invariants (audit feature)
 // ---------------------------------------------------------------------

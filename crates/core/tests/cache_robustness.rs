@@ -58,9 +58,11 @@ fn scratch(tag: &str, bytes: &[u8]) -> (RunCache, PathBuf) {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
     let cache = RunCache::new(dir.clone());
-    std::fs::write(cache.path_for(key), bytes).unwrap();
+    let path = cache.path_for(key);
+    // Plant the (possibly damaged) entry at its sharded location.
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(path, bytes).unwrap();
     (cache, dir)
 }
 

@@ -66,6 +66,15 @@ pub enum FaultKind {
     /// Make the trace replay reader behave as if the recording ended
     /// after this many instructions.
     TruncateTrace(u64),
+    /// Drop the network connection before the next protocol frame is
+    /// written (daemon/client injection point).
+    DropConnection,
+    /// Write only the first half of the next protocol frame, then
+    /// close the connection — a torn frame the peer must survive.
+    TruncateFrame,
+    /// Slow-loris a protocol write: stall mid-frame for the given
+    /// duration so the peer's read-timeout handling is exercised.
+    SlowWrite(Duration),
 }
 
 impl FaultKind {
@@ -77,6 +86,9 @@ impl FaultKind {
             FaultKind::Stall(_) => "stall",
             FaultKind::CorruptCache => "corrupt",
             FaultKind::TruncateTrace(_) => "trunc",
+            FaultKind::DropConnection => "dropconn",
+            FaultKind::TruncateFrame => "truncframe",
+            FaultKind::SlowWrite(_) => "slowloris",
         }
     }
 }
@@ -143,6 +155,12 @@ impl FaultPlan {
     /// * `corrupt@Gsh_1_16k_12 / parser` — flip bytes in that run's
     ///   cache entry before it is read.
     /// * `panicx1@vortex` — fire once, then stop (transient fault).
+    /// * `dropconnx1@bw-server` — the daemon drops the first matching
+    ///   connection before its next frame (transient network fault).
+    /// * `truncframe@bw-server` — frames to matching peers are torn in
+    ///   half before the connection closes.
+    /// * `slowloris:250@bw-client` — matching writers stall 250 ms
+    ///   mid-frame, exercising peer read timeouts.
     ///
     /// # Errors
     ///
@@ -176,6 +194,9 @@ impl FaultPlan {
                 "stall" => FaultKind::Stall(Duration::from_millis(num("millis")?)),
                 "corrupt" => FaultKind::CorruptCache,
                 "trunc" => FaultKind::TruncateTrace(num("instruction count")?),
+                "dropconn" => FaultKind::DropConnection,
+                "truncframe" => FaultKind::TruncateFrame,
+                "slowloris" => FaultKind::SlowWrite(Duration::from_millis(num("millis")?)),
                 other => return Err(format!("unknown fault kind '{other}' in '{clause}'")),
             };
             plan.faults.push(FaultSpec {
@@ -378,6 +399,30 @@ pub fn injected_trace_truncation(site_id: &str) -> Option<u64> {
     }
 }
 
+/// Should the next protocol frame's connection be dropped instead of
+/// written? (Wire-protocol injection point.)
+#[must_use]
+pub fn injected_conn_drop(site_id: &str) -> bool {
+    fire(site_id, |k| matches!(k, FaultKind::DropConnection)).is_some()
+}
+
+/// Should the next protocol frame be torn in half before the
+/// connection closes? (Wire-protocol injection point.)
+#[must_use]
+pub fn injected_frame_truncation(site_id: &str) -> bool {
+    fire(site_id, |k| matches!(k, FaultKind::TruncateFrame)).is_some()
+}
+
+/// Should the next protocol write stall mid-frame, and for how long?
+/// (Wire-protocol injection point.)
+#[must_use]
+pub fn injected_slow_write(site_id: &str) -> Option<Duration> {
+    match fire(site_id, |k| matches!(k, FaultKind::SlowWrite(_))) {
+        Some(FaultKind::SlowWrite(d)) => Some(d),
+        _ => None,
+    }
+}
+
 /// FNV-1a — the repo's stable non-cryptographic hash, duplicated here
 /// so the harness stays dependency-free.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -452,6 +497,45 @@ mod tests {
         assert!(FaultPlan::parse("wedge@x", 0).is_err());
         assert!(FaultPlan::parse("stall@x", 0).is_err());
         assert!(FaultPlan::parse("trunc:abc@x", 0).is_err());
+        assert!(FaultPlan::parse("slowloris@x", 0).is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_protocol_kinds() {
+        let plan = FaultPlan::parse("dropconnx1@srv;truncframe@peer;slowloris:250@cli", 3).unwrap();
+        assert_eq!(plan.faults[0].kind, FaultKind::DropConnection);
+        assert_eq!(plan.faults[0].times, 1);
+        assert_eq!(plan.faults[1].kind, FaultKind::TruncateFrame);
+        assert_eq!(
+            plan.faults[2].kind,
+            FaultKind::SlowWrite(Duration::from_millis(250))
+        );
+        assert_eq!(plan.faults[2].target, "cli");
+    }
+
+    #[test]
+    fn protocol_probes_fire_and_respect_budget() {
+        let _gate = serial();
+        arm(FaultPlan::new(0)
+            .fault_times(FaultKind::DropConnection, "bw-server", 1)
+            .fault(FaultKind::SlowWrite(Duration::from_millis(5)), "bw-client"));
+        assert!(!injected_conn_drop("bw-client submit"));
+        assert!(injected_conn_drop("bw-server conn 127.0.0.1:9"));
+        assert!(
+            !injected_conn_drop("bw-server conn 127.0.0.1:9"),
+            "budget of 1 exhausted"
+        );
+        assert_eq!(
+            injected_slow_write("bw-client submit"),
+            Some(Duration::from_millis(5))
+        );
+        assert!(
+            !injected_frame_truncation("anything"),
+            "no truncframe fault armed"
+        );
+        let log = disarm();
+        assert_eq!(log[0].kind, "dropconn");
+        assert_eq!(log[1].kind, "slowloris");
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! The blocking client: connect, handshake, submit sweeps, stream
+//! replies.
+//!
+//! Used by the `bw-client` CLI and the figure binaries' `--server`
+//! mode. One connection carries any number of requests; replies for a
+//! request stream back in completion order and are re-sorted by cell
+//! index by [`Client::collect_request`].
+
+use std::io::Write;
+
+use crate::net::Stream;
+use crate::protocol::{
+    encode_frame, hello, read_frame, CellReply, ClientMsg, ServerMsg, WireError, PROTOCOL_VERSION,
+};
+use crate::request::CellSpec;
+
+/// A client-side failure: transport, handshake, or a typed error frame
+/// from the daemon.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientError {
+    /// Transport or decode failure.
+    Wire(WireError),
+    /// The daemon is not speaking this protocol (or refused the
+    /// handshake).
+    Handshake(String),
+    /// The daemon sent a connection-level [`ServerMsg::Error`] frame.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Handshake(m) => write!(f, "handshake failed: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One connection to a `bw-server` daemon.
+pub struct Client {
+    stream: Stream,
+    quota: u64,
+    queue_capacity: u64,
+}
+
+impl Client {
+    /// Connects to `addr` (TCP `host:port` or `unix:/path`) and runs
+    /// the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] for transport failures,
+    /// [`ClientError::Handshake`] when the peer is not a compatible
+    /// daemon.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let mut stream =
+            Stream::connect(addr).map_err(|e| ClientError::Wire(WireError::Io(e.to_string())))?;
+        send_msg(&mut stream, &hello())?;
+        match recv_msg(&mut stream)? {
+            Some(ServerMsg::HelloAck {
+                protocol,
+                quota,
+                queue_capacity,
+            }) => {
+                if protocol != PROTOCOL_VERSION {
+                    return Err(ClientError::Handshake(format!(
+                        "daemon speaks protocol {protocol}, this client speaks {PROTOCOL_VERSION}"
+                    )));
+                }
+                Ok(Client {
+                    stream,
+                    quota,
+                    queue_capacity,
+                })
+            }
+            Some(ServerMsg::Error { message }) => Err(ClientError::Handshake(message)),
+            Some(other) => Err(ClientError::Handshake(format!(
+                "expected hello-ack, got {other:?}"
+            ))),
+            None => Err(ClientError::Handshake(
+                "daemon closed the connection during the handshake".to_string(),
+            )),
+        }
+    }
+
+    /// The daemon's per-connection in-flight quota, from the handshake.
+    #[must_use]
+    pub fn quota(&self) -> u64 {
+        self.quota
+    }
+
+    /// The daemon's global queue bound, from the handshake.
+    #[must_use]
+    pub fn queue_capacity(&self) -> u64 {
+        self.queue_capacity
+    }
+
+    /// Submits one request; replies arrive via [`Client::next_msg`] /
+    /// [`Client::collect_request`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] if the frame cannot be sent.
+    pub fn submit(&mut self, req: u64, cells: &[CellSpec]) -> Result<(), ClientError> {
+        send_msg(
+            &mut self.stream,
+            &ClientMsg::Submit {
+                req,
+                cells: cells.to_vec(),
+            },
+        )
+    }
+
+    /// Reads the next server frame; `Ok(None)` is a clean close.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] for transport or decode failures.
+    pub fn next_msg(&mut self) -> Result<Option<ServerMsg>, ClientError> {
+        recv_msg(&mut self.stream)
+    }
+
+    /// Drains replies for request `req` until its `done` frame,
+    /// returning the per-cell replies sorted by cell index. Frames for
+    /// other requests on this connection are discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] if the daemon sends an error frame,
+    /// [`ClientError::Wire`] if the connection dies first.
+    pub fn collect_request(&mut self, req: u64) -> Result<Vec<CellReply>, ClientError> {
+        let mut replies = Vec::new();
+        loop {
+            match self.next_msg()? {
+                Some(ServerMsg::Cell(reply)) if reply.req == req => replies.push(reply),
+                Some(ServerMsg::Done { req: done, .. }) if done == req => break,
+                Some(ServerMsg::Error { message }) => return Err(ClientError::Server(message)),
+                Some(_) => {}
+                None => {
+                    return Err(ClientError::Wire(WireError::Closed(
+                        "before the request completed".to_string(),
+                    )))
+                }
+            }
+        }
+        replies.sort_by_key(|r| r.cell);
+        Ok(replies)
+    }
+
+    /// Submits `cells` as request `req` and waits for all replies —
+    /// the common one-shot shape.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`] and [`Client::collect_request`].
+    pub fn run_cells(
+        &mut self,
+        req: u64,
+        cells: &[CellSpec],
+    ) -> Result<Vec<CellReply>, ClientError> {
+        self.submit(req, cells)?;
+        self.collect_request(req)
+    }
+
+    /// Asks the daemon for its counters: `(executed, queued,
+    /// inflight)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] on an error frame, [`ClientError::Wire`]
+    /// if the connection dies.
+    pub fn stats(&mut self) -> Result<(u64, u64, u64), ClientError> {
+        send_msg(&mut self.stream, &ClientMsg::Stats)?;
+        loop {
+            match self.next_msg()? {
+                Some(ServerMsg::Stats {
+                    executed,
+                    queued,
+                    inflight,
+                }) => return Ok((executed, queued, inflight)),
+                Some(ServerMsg::Error { message }) => return Err(ClientError::Server(message)),
+                Some(_) => {}
+                None => {
+                    return Err(ClientError::Wire(WireError::Closed(
+                        "before the stats reply".to_string(),
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Polite goodbye; consumes the client and closes the connection.
+    pub fn bye(mut self) {
+        let _ = send_msg(&mut self.stream, &ClientMsg::Bye);
+        self.stream.shutdown_both();
+    }
+}
+
+/// Encodes and writes one client frame, with the `bw-client` fault
+/// sites for connection chaos (misbehaving-client tests).
+fn send_msg(stream: &mut Stream, msg: &ClientMsg) -> Result<(), ClientError> {
+    let frame = encode_frame(&msg.to_value())?;
+    #[cfg(feature = "fault-inject")]
+    {
+        const SITE: &str = "bw-client";
+        if bw_fault::injected_conn_drop(SITE) {
+            stream.shutdown_both();
+            return Err(ClientError::Wire(WireError::Closed(
+                "injected client-side connection drop".to_string(),
+            )));
+        }
+        if bw_fault::injected_frame_truncation(SITE) {
+            let _ = stream.write_all(&frame[..frame.len() / 2]);
+            let _ = stream.flush();
+            stream.shutdown_both();
+            return Err(ClientError::Wire(WireError::Closed(
+                "injected client-side frame truncation".to_string(),
+            )));
+        }
+        if let Some(delay) = bw_fault::injected_slow_write(SITE) {
+            let half = frame.len() / 2;
+            write_plain(stream, &frame[..half])?;
+            std::thread::sleep(delay);
+            write_plain(stream, &frame[half..])?;
+            return Ok(());
+        }
+    }
+    write_plain(stream, &frame)
+}
+
+fn write_plain(stream: &mut Stream, bytes: &[u8]) -> Result<(), ClientError> {
+    stream
+        .write_all(bytes)
+        .and_then(|()| stream.flush())
+        .map_err(|e| ClientError::Wire(WireError::Io(e.to_string())))
+}
+
+/// Reads and decodes one server frame.
+fn recv_msg(stream: &mut Stream) -> Result<Option<ServerMsg>, ClientError> {
+    match read_frame(stream)? {
+        Some(v) => Ok(Some(ServerMsg::from_value(&v)?)),
+        None => Ok(None),
+    }
+}

@@ -1,0 +1,45 @@
+//! Simulation as a service: the `bw-server` daemon and its client
+//! library.
+//!
+//! The repo's sweep methodology (Figures 5–13, the PPD and banking
+//! studies) is backed by a supervised, cached, fault-isolated
+//! [`Runner`](bw_core::Runner) — but a `Runner` serves one process.
+//! This crate wraps it in a long-lived service so many concurrent
+//! clients can submit `RunPlan`-shaped sweep requests and stream the
+//! per-cell [`RunResult`](bw_core::RunResult)s back as they complete:
+//!
+//! * **Wire protocol** ([`protocol`]) — length-prefixed, versioned
+//!   JSON frames over TCP or Unix sockets. Dependency-free framing
+//!   with the `.bwt` format's validate-at-decode discipline: garbage
+//!   from the network becomes a typed [`WireError`](protocol::WireError),
+//!   never a panic.
+//! * **Single-flight dedup** ([`daemon`]) — in-flight work is keyed by
+//!   [`RunKey`](bw_core::RunKey) digest; concurrent requests for the
+//!   same cell subscribe to one simulation, and completed cells land
+//!   in the shared content-addressed run cache.
+//! * **Health model** — the quarantine ledger beside the cache is the
+//!   daemon's memory of poisoned keys: quarantined cells are refused
+//!   fast with a typed error at admission.
+//! * **Admission control** — a bounded global run queue and per-client
+//!   in-flight quotas; overload sheds with typed backpressure
+//!   responses instead of hanging or disconnecting.
+//!
+//! The [`client`] module is the blocking client used by `bw-client`
+//! and the experiment binaries' `--server ADDR` mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+mod net;
+pub mod protocol;
+pub mod request;
+
+pub use client::{Client, ClientError};
+pub use daemon::{Server, ServerConfig};
+pub use protocol::{
+    CellReply, CellStatus, ClientMsg, RefuseReason, ServerMsg, WireError, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+pub use request::{predictor_by_label, resolve_cell, CellSpec, RequestError, ResolvedCell};

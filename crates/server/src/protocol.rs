@@ -1,0 +1,536 @@
+//! The wire protocol: length-prefixed, versioned JSON frames.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Frames larger than [`MAX_FRAME`] are refused
+//! at both ends, bounding what a misbehaving peer can make the other
+//! side buffer. The first frame in each direction is a version
+//! handshake ([`ClientMsg::Hello`] / [`ServerMsg::HelloAck`]).
+//!
+//! Decoding mirrors the `.bwt` trace format's validate-at-decode
+//! discipline: every field is checked as it is read, and anything the
+//! network can hand us — truncation mid-header, truncation mid-body,
+//! bit damage, non-UTF-8, well-formed JSON of the wrong shape —
+//! becomes a typed [`WireError`], never a panic. The property tests in
+//! `tests/protocol.rs` drive corrupted and truncated frames through
+//! these paths.
+
+use std::io::Read;
+
+use serde::Value;
+
+use crate::request::CellSpec;
+
+/// Protocol generation. Bumped on any frame-layout or message-shape
+/// change; the handshake refuses a mismatched peer.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Handshake magic, so a peer that is not speaking this protocol at
+/// all is refused with a clear error instead of a shape mismatch.
+pub const MAGIC: &str = "bwsim";
+
+/// Maximum frame payload size (4 MiB). A `RunResult` serializes to a
+/// few KiB; the bound exists so a corrupt or hostile length prefix
+/// cannot make a peer allocate unbounded memory.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// A typed wire failure. Everything the transport or decoder can
+/// object to lands here — the protocol never panics on peer input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The peer closed the connection mid-frame (a close *between*
+    /// frames is a clean end-of-stream, reported as `Ok(None)` by
+    /// [`read_frame`]).
+    Closed(String),
+    /// A length prefix exceeded [`MAX_FRAME`].
+    TooLarge(usize),
+    /// The frame body failed validation: not UTF-8, not JSON, or JSON
+    /// of the wrong shape. The message names the first offense.
+    Malformed(String),
+    /// An I/O error from the underlying socket (including read
+    /// timeouts, which the daemon uses against slow-loris peers).
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed(what) => write!(f, "connection closed {what}"),
+            WireError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Io(m) => write!(f, "socket error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn io_err(e: &std::io::Error) -> WireError {
+    WireError::Io(e.to_string())
+}
+
+/// Encodes one frame: length prefix plus serialized JSON payload.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] if the serialized payload exceeds
+/// [`MAX_FRAME`].
+pub fn encode_frame(v: &Value) -> Result<Vec<u8>, WireError> {
+    let text = serde_json::to_string(v).map_err(|e| WireError::Malformed(e.0))?;
+    let bytes = text.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(WireError::TooLarge(bytes.len()));
+    }
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&u32::try_from(bytes.len()).unwrap_or(u32::MAX).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    Ok(frame)
+}
+
+/// Reads one frame, returning `Ok(None)` on a clean close (EOF at a
+/// frame boundary).
+///
+/// # Errors
+///
+/// [`WireError::Closed`] on EOF mid-header or mid-body,
+/// [`WireError::TooLarge`] for an oversized length prefix,
+/// [`WireError::Malformed`] for a body that is not valid JSON, and
+/// [`WireError::Io`] for transport errors (including read timeouts).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Value>, WireError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Closed(format!(
+                    "mid-header ({got}/4 length bytes)"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err(&e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    if let Err(e) = r.read_exact(&mut body) {
+        return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Closed(format!("mid-frame (expected {len} payload bytes)"))
+        } else {
+            io_err(&e)
+        });
+    }
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| WireError::Malformed("frame body is not UTF-8".to_string()))?;
+    serde_json::parse_value_str(text)
+        .map(Some)
+        .map_err(|e| WireError::Malformed(e.0))
+}
+
+// ---------------------------------------------------------------------
+// Field accessors (validate-at-decode helpers)
+// ---------------------------------------------------------------------
+
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, WireError> {
+    v.get(key)
+        .ok_or_else(|| WireError::Malformed(format!("missing field `{key}`")))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, WireError> {
+    match field(v, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(WireError::Malformed(format!(
+            "field `{key}` must be a string, got {other:?}"
+        ))),
+    }
+}
+
+pub(crate) fn u64_field(v: &Value, key: &str) -> Result<u64, WireError> {
+    match field(v, key)? {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(u64::try_from(*n).unwrap_or(0)),
+        other => Err(WireError::Malformed(format!(
+            "field `{key}` must be a non-negative integer, got {other:?}"
+        ))),
+    }
+}
+
+pub(crate) fn bool_field(v: &Value, key: &str) -> Result<bool, WireError> {
+    match field(v, key)? {
+        Value::Bool(b) => Ok(*b),
+        other => Err(WireError::Malformed(format!(
+            "field `{key}` must be a boolean, got {other:?}"
+        ))),
+    }
+}
+
+fn msg_type(v: &Value) -> Result<String, WireError> {
+    str_field(v, "type")
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// Frames a client sends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientMsg {
+    /// Version handshake; must be the first frame on a connection.
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: String,
+        /// Must equal [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// A sweep request: a client-chosen request id and the cells to
+    /// simulate. Replies stream back as [`ServerMsg::Cell`] frames
+    /// (one per cell, any order) followed by one [`ServerMsg::Done`].
+    Submit {
+        /// Client-chosen id echoed on every reply for this request.
+        req: u64,
+        /// The cells, addressed in replies by index into this vector.
+        cells: Vec<CellSpec>,
+    },
+    /// Asks for daemon counters; answered by [`ServerMsg::Stats`].
+    Stats,
+    /// Polite goodbye; the server closes the connection.
+    Bye,
+}
+
+impl ClientMsg {
+    /// Serializes to the wire shape.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        match self {
+            ClientMsg::Hello { magic, protocol } => Value::Obj(vec![
+                ("type".into(), Value::Str("hello".into())),
+                ("magic".into(), Value::Str(magic.clone())),
+                ("protocol".into(), Value::U64(u64::from(*protocol))),
+            ]),
+            ClientMsg::Submit { req, cells } => Value::Obj(vec![
+                ("type".into(), Value::Str("submit".into())),
+                ("req".into(), Value::U64(*req)),
+                (
+                    "cells".into(),
+                    Value::Arr(cells.iter().map(CellSpec::to_value).collect()),
+                ),
+            ]),
+            ClientMsg::Stats => Value::Obj(vec![("type".into(), Value::Str("stats".into()))]),
+            ClientMsg::Bye => Value::Obj(vec![("type".into(), Value::Str("bye".into()))]),
+        }
+    }
+
+    /// Decodes from the wire shape, validating every field.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] naming the first missing or
+    /// wrongly-typed field.
+    pub fn from_value(v: &Value) -> Result<Self, WireError> {
+        match msg_type(v)?.as_str() {
+            "hello" => Ok(ClientMsg::Hello {
+                magic: str_field(v, "magic")?,
+                protocol: u32::try_from(u64_field(v, "protocol")?)
+                    .map_err(|_| WireError::Malformed("protocol out of range".into()))?,
+            }),
+            "submit" => {
+                let cells = match field(v, "cells")? {
+                    Value::Arr(items) => items
+                        .iter()
+                        .map(CellSpec::from_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "field `cells` must be an array, got {other:?}"
+                        )))
+                    }
+                };
+                Ok(ClientMsg::Submit {
+                    req: u64_field(v, "req")?,
+                    cells,
+                })
+            }
+            "stats" => Ok(ClientMsg::Stats),
+            "bye" => Ok(ClientMsg::Bye),
+            other => Err(WireError::Malformed(format!(
+                "unknown client message type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Why a cell was refused at admission — the daemon's typed
+/// backpressure/shed vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefuseReason {
+    /// The client already has its quota of in-flight cells on this
+    /// connection; resubmit after some replies arrive.
+    Quota,
+    /// The daemon's global run queue is full; resubmit later.
+    QueueFull,
+    /// The key has crossed the quarantine threshold; it will keep
+    /// being refused until the ledger is cleared.
+    Quarantined,
+    /// The cell itself is invalid (unknown benchmark or predictor
+    /// label, or a config the builder rejects); resubmitting the same
+    /// cell can never succeed.
+    BadRequest,
+}
+
+impl RefuseReason {
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RefuseReason::Quota => "quota",
+            RefuseReason::QueueFull => "queue-full",
+            RefuseReason::Quarantined => "quarantined",
+            RefuseReason::BadRequest => "bad-request",
+        }
+    }
+
+    /// Parses a wire name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "quota" => Some(RefuseReason::Quota),
+            "queue-full" => Some(RefuseReason::QueueFull),
+            "quarantined" => Some(RefuseReason::Quarantined),
+            "bad-request" => Some(RefuseReason::BadRequest),
+            _ => None,
+        }
+    }
+
+    /// `true` when the same cell could succeed if resubmitted later
+    /// (backpressure, as opposed to a permanently bad cell).
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        matches!(self, RefuseReason::Quota | RefuseReason::QueueFull)
+    }
+}
+
+/// The terminal state of one submitted cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellStatus {
+    /// The simulation completed; the payload is the serialized
+    /// [`RunResult`](bw_core::RunResult) (decode with
+    /// `RunResult::from_value`).
+    Ok(Box<Value>),
+    /// Refused at admission with a typed reason; never executed.
+    Refused {
+        /// The typed reason.
+        reason: RefuseReason,
+        /// Human-readable detail (quarantine history, quota size, the
+        /// resolution error).
+        detail: String,
+    },
+    /// Admitted and executed, but the supervised run failed
+    /// terminally.
+    Failed {
+        /// The [`RunOutcome`](bw_core::RunOutcome) kind
+        /// (`panicked` / `timed-out` / `trace-error` / ...).
+        outcome: String,
+        /// The rendered outcome.
+        detail: String,
+    },
+}
+
+/// One per-cell reply, streamed as the cell settles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellReply {
+    /// The request this cell belongs to.
+    pub req: u64,
+    /// Index into the request's `cells` vector.
+    pub cell: u64,
+    /// How the cell settled.
+    pub status: CellStatus,
+}
+
+/// Frames the server sends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerMsg {
+    /// Handshake acknowledgement with the daemon's admission limits.
+    HelloAck {
+        /// The protocol version the server speaks.
+        protocol: u32,
+        /// Per-connection in-flight cell quota.
+        quota: u64,
+        /// Global pending-run queue bound.
+        queue_capacity: u64,
+    },
+    /// One cell settled.
+    Cell(CellReply),
+    /// All cells of a request have been answered.
+    Done {
+        /// The request id.
+        req: u64,
+        /// Cells that completed with a result.
+        ok: u64,
+        /// Cells refused at admission.
+        refused: u64,
+        /// Cells that executed but failed terminally.
+        failed: u64,
+    },
+    /// Daemon counters, answering [`ClientMsg::Stats`].
+    Stats {
+        /// Supervised runs actually executed since startup (cache hits
+        /// and deduplicated subscriptions excluded) — the single-flight
+        /// observable.
+        executed: u64,
+        /// Cells waiting in the run queue right now.
+        queued: u64,
+        /// Distinct keys currently in flight (queued or running).
+        inflight: u64,
+    },
+    /// A connection-level protocol error; the server closes the
+    /// connection after sending this.
+    Error {
+        /// What the server objected to.
+        message: String,
+    },
+}
+
+impl ServerMsg {
+    /// Serializes to the wire shape.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        match self {
+            ServerMsg::HelloAck {
+                protocol,
+                quota,
+                queue_capacity,
+            } => Value::Obj(vec![
+                ("type".into(), Value::Str("hello-ack".into())),
+                ("protocol".into(), Value::U64(u64::from(*protocol))),
+                ("quota".into(), Value::U64(*quota)),
+                ("queue_capacity".into(), Value::U64(*queue_capacity)),
+            ]),
+            ServerMsg::Cell(reply) => {
+                let mut pairs = vec![
+                    ("type".into(), Value::Str("cell".into())),
+                    ("req".into(), Value::U64(reply.req)),
+                    ("cell".into(), Value::U64(reply.cell)),
+                ];
+                match &reply.status {
+                    CellStatus::Ok(result) => {
+                        pairs.push(("status".into(), Value::Str("ok".into())));
+                        pairs.push(("result".into(), (**result).clone()));
+                    }
+                    CellStatus::Refused { reason, detail } => {
+                        pairs.push(("status".into(), Value::Str("refused".into())));
+                        pairs.push(("reason".into(), Value::Str(reason.as_str().into())));
+                        pairs.push(("detail".into(), Value::Str(detail.clone())));
+                    }
+                    CellStatus::Failed { outcome, detail } => {
+                        pairs.push(("status".into(), Value::Str("failed".into())));
+                        pairs.push(("outcome".into(), Value::Str(outcome.clone())));
+                        pairs.push(("detail".into(), Value::Str(detail.clone())));
+                    }
+                }
+                Value::Obj(pairs)
+            }
+            ServerMsg::Done {
+                req,
+                ok,
+                refused,
+                failed,
+            } => Value::Obj(vec![
+                ("type".into(), Value::Str("done".into())),
+                ("req".into(), Value::U64(*req)),
+                ("ok".into(), Value::U64(*ok)),
+                ("refused".into(), Value::U64(*refused)),
+                ("failed".into(), Value::U64(*failed)),
+            ]),
+            ServerMsg::Stats {
+                executed,
+                queued,
+                inflight,
+            } => Value::Obj(vec![
+                ("type".into(), Value::Str("stats".into())),
+                ("executed".into(), Value::U64(*executed)),
+                ("queued".into(), Value::U64(*queued)),
+                ("inflight".into(), Value::U64(*inflight)),
+            ]),
+            ServerMsg::Error { message } => Value::Obj(vec![
+                ("type".into(), Value::Str("error".into())),
+                ("message".into(), Value::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes from the wire shape, validating every field.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] naming the first missing or
+    /// wrongly-typed field.
+    pub fn from_value(v: &Value) -> Result<Self, WireError> {
+        match msg_type(v)?.as_str() {
+            "hello-ack" => Ok(ServerMsg::HelloAck {
+                protocol: u32::try_from(u64_field(v, "protocol")?)
+                    .map_err(|_| WireError::Malformed("protocol out of range".into()))?,
+                quota: u64_field(v, "quota")?,
+                queue_capacity: u64_field(v, "queue_capacity")?,
+            }),
+            "cell" => {
+                let status = match str_field(v, "status")?.as_str() {
+                    "ok" => CellStatus::Ok(Box::new(field(v, "result")?.clone())),
+                    "refused" => {
+                        let name = str_field(v, "reason")?;
+                        CellStatus::Refused {
+                            reason: RefuseReason::from_name(&name).ok_or_else(|| {
+                                WireError::Malformed(format!("unknown refuse reason `{name}`"))
+                            })?,
+                            detail: str_field(v, "detail")?,
+                        }
+                    }
+                    "failed" => CellStatus::Failed {
+                        outcome: str_field(v, "outcome")?,
+                        detail: str_field(v, "detail")?,
+                    },
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "unknown cell status `{other}`"
+                        )))
+                    }
+                };
+                Ok(ServerMsg::Cell(CellReply {
+                    req: u64_field(v, "req")?,
+                    cell: u64_field(v, "cell")?,
+                    status,
+                }))
+            }
+            "done" => Ok(ServerMsg::Done {
+                req: u64_field(v, "req")?,
+                ok: u64_field(v, "ok")?,
+                refused: u64_field(v, "refused")?,
+                failed: u64_field(v, "failed")?,
+            }),
+            "stats" => Ok(ServerMsg::Stats {
+                executed: u64_field(v, "executed")?,
+                queued: u64_field(v, "queued")?,
+                inflight: u64_field(v, "inflight")?,
+            }),
+            "error" => Ok(ServerMsg::Error {
+                message: str_field(v, "message")?,
+            }),
+            other => Err(WireError::Malformed(format!(
+                "unknown server message type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// The client half of the handshake, prebuilt.
+#[must_use]
+pub fn hello() -> ClientMsg {
+    ClientMsg::Hello {
+        magic: MAGIC.to_string(),
+        protocol: PROTOCOL_VERSION,
+    }
+}

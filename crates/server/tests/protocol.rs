@@ -1,0 +1,170 @@
+//! Property tests for the wire protocol: round-trips, and the
+//! guarantee that no truncation or corruption of a frame ever panics —
+//! peer input always lands as a typed [`WireError`] or a decodable
+//! value.
+
+use proptest::prelude::*;
+
+use bw_server::protocol::{
+    encode_frame, read_frame, CellReply, CellStatus, ClientMsg, RefuseReason, ServerMsg, WireError,
+    MAX_FRAME,
+};
+use bw_server::request::CellSpec;
+use serde::Value;
+
+const BENCHMARKS: [&str; 4] = ["gzip", "gcc", "mcf", "vortex"];
+const PREDICTORS: [&str; 4] = ["Bim_4k", "Gsh_1_16k_12", "Hybrid_1", "PAs_1k_2k_4"];
+const REASONS: [RefuseReason; 4] = [
+    RefuseReason::Quota,
+    RefuseReason::QueueFull,
+    RefuseReason::Quarantined,
+    RefuseReason::BadRequest,
+];
+
+/// Builds a cell spec from raw sampled integers.
+fn spec_from(raw: (u64, u64, u64, bool)) -> CellSpec {
+    let (pick, warmup, measure, banked) = raw;
+    CellSpec {
+        benchmark: BENCHMARKS[(pick % 4) as usize].to_string(),
+        predictor: PREDICTORS[((pick >> 8) % 4) as usize].to_string(),
+        warmup_insts: warmup,
+        measure_insts: measure,
+        seed: pick.rotate_left(17),
+        banked,
+    }
+}
+
+/// Encodes `v` and reads it back through the framing layer.
+fn frame_round_trip(v: &Value) -> Value {
+    let frame = encode_frame(v).expect("encode");
+    let mut reader: &[u8] = &frame;
+    read_frame(&mut reader)
+        .expect("read back a frame we just wrote")
+        .expect("one whole frame present")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cell_spec_round_trips(raw in (any::<u64>(), 1u64..1 << 40, 1u64..1 << 40, any::<bool>())) {
+        let spec = spec_from(raw);
+        let back = CellSpec::from_value(&frame_round_trip(&spec.to_value())).expect("decode");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn client_msgs_round_trip(
+        req in any::<u64>(),
+        raws in collection::vec((any::<u64>(), 1u64..1 << 30, 1u64..1 << 30, any::<bool>()), 0..5),
+    ) {
+        let msgs = [
+            bw_server::protocol::hello(),
+            ClientMsg::Submit { req, cells: raws.into_iter().map(spec_from).collect() },
+            ClientMsg::Stats,
+            ClientMsg::Bye,
+        ];
+        for msg in msgs {
+            let back = ClientMsg::from_value(&frame_round_trip(&msg.to_value())).expect("decode");
+            prop_assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn server_msgs_round_trip(nums in (any::<u64>(), any::<u64>(), any::<u64>(), 0u64..4)) {
+        let (a, b, c, pick) = nums;
+        let status = match pick {
+            0 => CellStatus::Ok(Box::new(Value::Obj(vec![(
+                "benchmark".into(),
+                Value::Str("gzip".into()),
+            )]))),
+            1 => CellStatus::Refused {
+                reason: REASONS[(a % 4) as usize],
+                detail: format!("detail {b}"),
+            },
+            _ => CellStatus::Failed {
+                outcome: "timed-out".to_string(),
+                detail: format!("after {c} attempts"),
+            },
+        };
+        let msgs = [
+            ServerMsg::HelloAck { protocol: 1, quota: a, queue_capacity: b },
+            ServerMsg::Cell(CellReply { req: a, cell: b, status }),
+            ServerMsg::Done { req: a, ok: b, refused: c, failed: a ^ b },
+            ServerMsg::Stats { executed: a, queued: b, inflight: c },
+            ServerMsg::Error { message: format!("err {c}") },
+        ];
+        for msg in msgs {
+            let back = ServerMsg::from_value(&frame_round_trip(&msg.to_value())).expect("decode");
+            prop_assert_eq!(back, msg);
+        }
+    }
+
+    /// Any prefix of a valid frame decodes to a typed error (or a clean
+    /// EOF at length zero) — never a panic, never a bogus value.
+    #[test]
+    fn truncation_never_panics(raw in (any::<u64>(), 1u64..1 << 30, 1u64..1 << 30, any::<bool>()),
+                               cut in any::<u64>()) {
+        let frame = encode_frame(&spec_from(raw).to_value()).expect("encode");
+        let cut = (cut % frame.len() as u64) as usize; // strictly short
+        let mut reader = &frame[..cut];
+        match read_frame(&mut reader) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean close"),
+            Ok(Some(_)) => prop_assert!(false, "a truncated frame must not decode"),
+            Err(WireError::Closed(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+    }
+
+    /// Flipping any byte of a frame never panics: the read either
+    /// fails typed, or (if the JSON survives) message decode stays
+    /// panic-free.
+    #[test]
+    fn corruption_never_panics(raw in (any::<u64>(), 1u64..1 << 30, 1u64..1 << 30, any::<bool>()),
+                               pos in any::<u64>(), flip in 1u8..=255) {
+        let msg = ClientMsg::Submit { req: raw.0, cells: vec![spec_from(raw)] };
+        let mut frame = encode_frame(&msg.to_value()).expect("encode");
+        let pos = (pos % frame.len() as u64) as usize;
+        frame[pos] ^= flip;
+        let mut reader: &[u8] = &frame;
+        if let Ok(Some(v)) = read_frame(&mut reader) {
+            // Shape validation may accept or reject, but must not
+            // panic either way.
+            let _ = ClientMsg::from_value(&v);
+            let _ = ServerMsg::from_value(&v);
+        }
+    }
+
+    /// Arbitrary bytes fed to the reader never panic.
+    #[test]
+    fn garbage_never_panics(bytes in collection::vec(any::<u8>(), 0..64)) {
+        let mut reader: &[u8] = &bytes;
+        let _ = read_frame(&mut reader);
+    }
+}
+
+/// A length prefix past [`MAX_FRAME`] is refused before any allocation.
+#[test]
+fn oversized_length_prefix_is_refused() {
+    let len = u32::try_from(MAX_FRAME + 1).expect("fits");
+    let mut frame = len.to_be_bytes().to_vec();
+    frame.extend_from_slice(b"x");
+    let mut reader: &[u8] = &frame;
+    assert_eq!(
+        read_frame(&mut reader),
+        Err(WireError::TooLarge(MAX_FRAME + 1))
+    );
+}
+
+/// A frame body that is not UTF-8 is a typed malformed error.
+#[test]
+fn non_utf8_body_is_malformed() {
+    let body = [0xffu8, 0xfe, 0x00, 0x01];
+    let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    let mut reader: &[u8] = &frame;
+    assert!(matches!(
+        read_frame(&mut reader),
+        Err(WireError::Malformed(_))
+    ));
+}

@@ -232,7 +232,8 @@ pub fn rules() -> Vec<Rule> {
         },
         Rule {
             name: "thread-spawn",
-            summary: "no `std::thread::spawn`/`thread::scope` outside bw-core's runner module",
+            summary: "no `std::thread::spawn`/`thread::scope` outside the sanctioned threading \
+                      sites (bw-core's runner, bw-server's daemon, and their tests/benches)",
             check: check_thread_spawn,
         },
         Rule {
@@ -564,16 +565,27 @@ fn check_float_eq(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 fn check_thread_spawn(rule: &Rule, sf: &SourceFile, out: &mut Vec<Violation>) {
-    if sf.rel == "crates/core/src/runner.rs" {
-        return; // the one sanctioned threading site
+    // The sanctioned threading sites: bw-core's runner (the worker
+    // pool), bw-server's daemon (acceptor/connection/worker threads),
+    // and the server crate's concurrency tests plus the daemon
+    // throughput bench (concurrent loopback clients are the thing
+    // under test/measurement there).
+    const SANCTIONED: &[&str] = &[
+        "crates/core/src/runner.rs",
+        "crates/server/src/daemon.rs",
+        "crates/bench/benches/server.rs",
+    ];
+    if SANCTIONED.contains(&sf.rel.as_str()) || sf.rel.starts_with("crates/server/tests/") {
+        return;
     }
     for (idx, line) in sf.code.iter().enumerate() {
         if line.contains("thread::spawn") || line.contains("thread::scope") {
             rule.push(
                 sf,
                 idx,
-                "thread creation outside bw-core's runner; route parallel work through \
-                 `bw_core::Runner` so job counts and determinism stay centralized"
+                "thread creation outside the sanctioned sites (bw-core's runner, bw-server's \
+                 daemon); route parallel work through `bw_core::Runner` so job counts and \
+                 determinism stay centralized"
                     .to_string(),
                 out,
             );
@@ -967,6 +979,24 @@ mod tests {
         let v = lint_one("crates/core/src/export.rs", "std::thread::spawn(|| {});\n");
         assert_eq!(names(&v), vec!["thread-spawn"]);
         assert!(lint_one("crates/core/src/runner.rs", "std::thread::scope(|s| {});\n").is_empty());
+        // The daemon's threading sites and the server crate's
+        // concurrency tests are sanctioned too.
+        assert!(lint_one(
+            "crates/server/src/daemon.rs",
+            "std::thread::spawn(|| {});\n"
+        )
+        .is_empty());
+        assert!(lint_one(
+            "crates/server/tests/loopback.rs",
+            "std::thread::spawn(|| {});\n"
+        )
+        .is_empty());
+        assert!(lint_one(
+            "crates/server/src/client.rs",
+            "std::thread::spawn(|| {});\n"
+        )
+        .iter()
+        .any(|v| v.rule == "thread-spawn"));
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //!   design (deterministic given the env contract);
 //! * `crates/bench/` — the CLI/bench layer is presentation, not sim.
 //!
+//! `crates/server/src/{protocol,request}.rs` are roots too: the
+//! daemon's single-flight dedup hashes wire cells into `RunKey`
+//! digests, so that path must stay as deterministic as the sim's.
+//! The daemon/client transport (`daemon.rs`, `client.rs`, `net.rs`)
+//! is deliberately *not* a root — it owns threads and sockets the way
+//! `runner.rs` owns its worker pool.
+//!
 //! `Binary` and `Test` files are out of scope, as are `#[cfg(test)]`
 //! regions.
 
@@ -45,6 +52,10 @@ fn is_root(rel: &str) -> bool {
         "crates/core/src/sim.rs",
         "crates/core/src/runner.rs",
         "crates/core/src/supervise.rs",
+        // The daemon's request-hashing/dedup path: a cell spec must
+        // resolve to the same RunKey digest on every daemon.
+        "crates/server/src/protocol.rs",
+        "crates/server/src/request.rs",
     ];
     ROOT_DIRS.iter().any(|d| rel.starts_with(d)) || ROOT_FILES.contains(&rel)
 }
