@@ -4,6 +4,11 @@
 //! shared run cache) across client counts — written to
 //! `BENCH_server.json` at the repo root.
 //!
+//! A third phase measures durability: a daemon is killed mid-sweep and
+//! relaunched over the same cache, and the time for a token-bearing
+//! client to resume and drain the interrupted sweep is written to
+//! `BENCH_daemon_recovery.json` (resume latency, recovered cells/s).
+//!
 //! Follows the vendored criterion shim's conventions: measurement only
 //! happens when the harness receives `--bench` (as `cargo bench`
 //! passes); under `cargo test` it registers and exits so test runs
@@ -15,10 +20,10 @@ use std::time::Instant;
 
 /// The PR this tree corresponds to; stamped into `BENCH_server.json`
 /// and its cross-PR history so regressions are attributable.
-const PR: u32 = 9;
+const PR: u32 = 10;
 
 use bw_core::fsutil;
-use bw_server::{CellSpec, CellStatus, Client, Server, ServerConfig};
+use bw_server::{CellSpec, CellStatus, Client, Journal, JournalRecord, Server, ServerConfig};
 
 struct Budget {
     mode: &'static str,
@@ -26,6 +31,7 @@ struct Budget {
     measure_insts: u64,
     cold_cells: u64,
     warm_reqs: u32,
+    recovery_cells: u64,
 }
 
 impl Budget {
@@ -37,6 +43,7 @@ impl Budget {
                 measure_insts: 1_000,
                 cold_cells: 8,
                 warm_reqs: 4,
+                recovery_cells: 12,
             }
         } else {
             Budget {
@@ -45,6 +52,7 @@ impl Budget {
                 measure_insts: 10_000,
                 cold_cells: 24,
                 warm_reqs: 16,
+                recovery_cells: 32,
             }
         }
     }
@@ -173,6 +181,123 @@ fn history_json(rows: &[HistoryRow]) -> String {
     format!("[\n{}\n  ]", body.join(",\n"))
 }
 
+/// Kill-and-resume phase: a fresh daemon takes a sweep, dies mid-way,
+/// and a relaunch over the same cache finishes it for a resuming
+/// client. Returns `(recovered cells/s, resume latency ms, cells
+/// executed before the kill)`.
+fn recovery_phase(budget: &Budget) -> (f64, f64, u64) {
+    let cache_dir = std::env::temp_dir().join(format!("bw-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cfg = ServerConfig {
+        cache_dir: Some(cache_dir.clone()),
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let specs = grid(budget.recovery_cells, budget);
+
+    let first = Server::launch("127.0.0.1:0", cfg.clone()).expect("bind loopback");
+    let client = Client::connect(first.addr()).expect("connect");
+    let token = client.session().to_string();
+    {
+        let mut client = client;
+        client.submit(1, &specs).expect("submit the sweep");
+        // Let roughly a third of the sweep land, then take the daemon
+        // down mid-flight — no acks were sent, no cells drained.
+        while first.executed() < budget.recovery_cells / 3 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        first.shutdown();
+    }
+    // The journal's Done records are the exact pre-kill completion
+    // count (executed() races the in-flight cells draining during
+    // shutdown).
+    let executed_before = Journal::in_dir(&cache_dir)
+        .replay()
+        .records
+        .iter()
+        .filter(|r| matches!(r, JournalRecord::Done { .. }))
+        .count() as u64;
+
+    let restart = Instant::now();
+    let second = Server::launch("127.0.0.1:0", cfg).expect("relaunch over the same cache");
+    let mut client = Client::connect_with(second.addr(), Some(&token)).expect("reconnect");
+    assert!(
+        client.resumed(),
+        "the daemon must recognize the session token"
+    );
+    let reqs = client.resume().expect("resume");
+    let resume_latency_ms = restart.elapsed().as_nanos() as f64 / 1e6;
+    let mut recovered = 0u64;
+    for req in reqs {
+        let replies = client.collect_request(req).expect("drain resumed request");
+        for reply in &replies {
+            assert!(
+                matches!(reply.status, CellStatus::Ok(_)),
+                "recovered cell must succeed: {:?}",
+                reply.status
+            );
+        }
+        recovered += replies.len() as u64;
+        client
+            .ack(req, &replies.iter().map(|r| r.cell).collect::<Vec<_>>())
+            .expect("ack");
+    }
+    let recovered_cells_per_s = recovered as f64 / (restart.elapsed().as_nanos() as f64 / 1e9);
+    assert_eq!(recovered, budget.recovery_cells, "every cell redelivered");
+    assert!(
+        executed_before + second.executed() >= budget.recovery_cells,
+        "journal replay plus restart work must cover the sweep"
+    );
+    client.bye();
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    (recovered_cells_per_s, resume_latency_ms, executed_before)
+}
+
+/// One cross-PR history row for the recovery file.
+#[derive(Clone, Copy)]
+struct RecoveryRow {
+    pr: u32,
+    recovered_cells_per_s: f64,
+    resume_latency_ms: f64,
+}
+
+fn load_recovery_history(prev: &str) -> Vec<RecoveryRow> {
+    let mut rows = Vec::new();
+    if let Some(start) = prev.find("\"history\": [") {
+        let body = &prev[start..];
+        let end = body.find(']').unwrap_or(body.len());
+        for obj in body[..end].split('{').skip(1) {
+            if let (Some(pr), Some(rate), Some(latency)) = (
+                field_num(obj, "pr"),
+                field_num(obj, "recovered_cells_per_s"),
+                field_num(obj, "resume_latency_ms"),
+            ) {
+                rows.push(RecoveryRow {
+                    pr: pr as u32,
+                    recovered_cells_per_s: rate,
+                    resume_latency_ms: latency,
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn recovery_history_json(rows: &[RecoveryRow]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"pr\": {}, \"recovered_cells_per_s\": {:.1}, \
+                 \"resume_latency_ms\": {:.2} }}",
+                r.pr, r.recovered_cells_per_s, r.resume_latency_ms
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", body.join(",\n"))
+}
+
 fn main() {
     if !std::env::args().any(|a| a == "--bench") {
         println!("server: skipped (run via `cargo bench` to measure)");
@@ -268,4 +393,43 @@ fn main() {
     );
     fsutil::atomic_write(&path, json.as_bytes()).expect("write BENCH_server.json");
     println!("server: wrote {}", path.display());
+
+    // Durability phase: kill a daemon mid-sweep, relaunch it over the
+    // same cache, and time the resume for a token-bearing client.
+    let (recovered_cells_per_s, resume_latency_ms, executed_before) = recovery_phase(&budget);
+    println!(
+        "server/recovery: {} cells, {executed_before} done pre-kill, \
+         resume in {resume_latency_ms:.2} ms, {recovered_cells_per_s:.1} recovered cells/s",
+        budget.recovery_cells
+    );
+
+    let recovery_path = root.join("BENCH_daemon_recovery.json");
+    let prev = std::fs::read_to_string(&recovery_path).unwrap_or_default();
+    let mut rows = load_recovery_history(&prev);
+    if budget.mode == "full" {
+        rows.retain(|r| r.pr != PR);
+        rows.push(RecoveryRow {
+            pr: PR,
+            recovered_cells_per_s,
+            resume_latency_ms,
+        });
+    }
+    rows.sort_by_key(|r| r.pr);
+    let json = format!(
+        "{{\n  \"bench\": \"daemon_recovery\",\n  \"pr\": {pr},\n  \"mode\": \"{mode}\",\n  \
+         \"workload\": \"gzip\",\n  \"predictor\": \"Bim_4k\",\n  \
+         \"recovery_cells\": {cells},\n  \"executed_before_kill\": {before},\n  \
+         \"resume_latency_ms\": {latency:.2},\n  \"recovered_cells_per_s\": {rate:.1},\n  \
+         \"history\": {history}\n}}\n",
+        pr = PR,
+        mode = budget.mode,
+        cells = budget.recovery_cells,
+        before = executed_before,
+        latency = resume_latency_ms,
+        rate = recovered_cells_per_s,
+        history = recovery_history_json(&rows),
+    );
+    fsutil::atomic_write(&recovery_path, json.as_bytes())
+        .expect("write BENCH_daemon_recovery.json");
+    println!("server: wrote {}", recovery_path.display());
 }

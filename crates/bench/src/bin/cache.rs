@@ -1,4 +1,5 @@
-//! Run-cache maintenance: `cache verify` and `cache repair`.
+//! Run-cache maintenance: `cache verify`, `cache repair`, and
+//! `cache evict`.
 //!
 //! * `verify` — scan every entry in the cache directory and report
 //!   `ok / stale / corrupt / stray tmp` counts, listing each damaged
@@ -9,17 +10,26 @@
 //!   With `--migrate`, first moves legacy flat-layout entries into
 //!   their two-level shard subdirectories (a pure rename pass, safe
 //!   to re-run).
+//! * `evict` — trim the cache to a size budget, least-recently-used
+//!   entries first: `--max-bytes N` and/or `--max-entries N` set the
+//!   budget (omitting both just prints current usage). Foreign files
+//!   (the quarantine ledger, the flight journal) are never evicted.
+//!   A *running* daemon enforces its own budget with in-flight pins;
+//!   this offline pass is for cold caches.
 //!
-//! Both accept `--cache-dir DIR` (default `results/cache`).
+//! All accept `--cache-dir DIR` (default `results/cache`).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 
-use bw_core::RunCache;
+use bw_core::{CacheBudget, RunCache};
 
 fn usage() -> ! {
-    eprintln!("usage: cache <verify|repair> [--cache-dir DIR] [--migrate]");
+    eprintln!(
+        "usage: cache <verify|repair|evict> [--cache-dir DIR] [--migrate] \
+         [--max-bytes N] [--max-entries N]"
+    );
     std::process::exit(2);
 }
 
@@ -28,10 +38,11 @@ fn main() {
     let mut mode: Option<String> = None;
     let mut dir: Option<PathBuf> = None;
     let mut migrate = false;
+    let mut budget = CacheBudget::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "verify" | "repair" if mode.is_none() => mode = Some(args[i].clone()),
+            "verify" | "repair" | "evict" if mode.is_none() => mode = Some(args[i].clone()),
             "--cache-dir" => {
                 i += 1;
                 match args.get(i) {
@@ -40,6 +51,20 @@ fn main() {
                 }
             }
             "--migrate" => migrate = true,
+            "--max-bytes" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) => budget.max_bytes = Some(n),
+                    None => usage(),
+                }
+            }
+            "--max-entries" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => budget.max_entries = Some(n),
+                    None => usage(),
+                }
+            }
             _ => usage(),
         }
         i += 1;
@@ -49,8 +74,25 @@ fn main() {
         eprintln!("--migrate only applies to `repair`");
         usage();
     }
+    if !budget.is_unbounded() && mode != "evict" {
+        eprintln!("--max-bytes/--max-entries only apply to `evict`");
+        usage();
+    }
     let cache = RunCache::new(dir.unwrap_or_else(RunCache::default_dir));
     println!("cache dir: {}", cache.dir().display());
+
+    if mode == "evict" {
+        let (bytes, entries) = cache.usage();
+        println!("usage: {entries} entr(ies), {bytes} bytes");
+        if budget.is_unbounded() {
+            println!("no budget given (--max-bytes/--max-entries); nothing to evict");
+            return;
+        }
+        // Offline maintenance: no daemon, no in-flight runs to pin.
+        let report = cache.evict_to_budget(&budget, &|_| false);
+        println!("evict: {}", report.summary());
+        return;
+    }
 
     if migrate {
         let moved = cache.migrate();

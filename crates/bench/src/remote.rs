@@ -14,10 +14,12 @@
 //! cells are reported on stderr, every healthy row still renders, and
 //! the caller exits nonzero.
 
+use std::time::Duration;
+
 use bw_core::experiments::SweepRow;
 use bw_core::zoo::NamedPredictor;
 use bw_core::{RunResult, SimConfig};
-use bw_server::{CellSpec, CellStatus, Client, ClientError, ServerMsg};
+use bw_server::{CellSpec, CellStatus, Client, ClientError, RetryPolicy, ServerMsg};
 use bw_workload::BenchmarkModel;
 use serde::Deserialize;
 
@@ -49,6 +51,10 @@ pub struct RemoteSweep {
     pub failures: Vec<RemoteFailure>,
     /// Total cells submitted.
     pub planned: usize,
+    /// Submit attempts made (1 = no backpressure retries needed).
+    pub attempts: u32,
+    /// Cell resubmissions across all backoff retries.
+    pub retried: usize,
 }
 
 impl RemoteSweep {
@@ -58,15 +64,25 @@ impl RemoteSweep {
         !self.failures.is_empty()
     }
 
-    /// One-line outcome summary in the supervised-sweep style.
+    /// One-line outcome summary in the supervised-sweep style, with
+    /// the attempt count whenever backpressure forced retries.
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "remote sweep: {} of {} cells completed, {} refused/failed",
             self.rows.len(),
             self.planned,
             self.failures.len()
-        )
+        );
+        if self.attempts > 1 {
+            use std::fmt::Write;
+            let _ = write!(
+                line,
+                " after {} attempts ({} cell resubmissions)",
+                self.attempts, self.retried
+            );
+        }
+        line
     }
 }
 
@@ -102,12 +118,14 @@ pub fn remote_sweep_rows(
 
     let mut statuses: Vec<Option<CellStatus>> = vec![None; cells.len()];
     let mut seen = 0usize;
+    let mut received = Vec::new();
     loop {
         match client.next_msg()? {
             Some(ServerMsg::Cell(reply)) if reply.req == REQ => {
                 let idx = reply.cell as usize;
                 if idx < statuses.len() && statuses[idx].is_none() {
                     seen += 1;
+                    received.push(reply.cell);
                     if let Some((_, label)) = cells.get(idx) {
                         progress(&format!("{label} ({seen}/{} remote)", cells.len()));
                     }
@@ -123,6 +141,43 @@ pub fn remote_sweep_rows(
                 )))
             }
         }
+    }
+    client.ack(REQ, &received)?;
+
+    // Backpressure retries: resubmit only the retryably-refused cells
+    // (quota / queue-full) under derived request ids, backing off with
+    // the deterministic-jitter schedule so parallel figure binaries
+    // desynchronize instead of stampeding the daemon in step.
+    let policy = RetryPolicy::default();
+    let (mut attempts, mut retried) = (1_u32, 0_usize);
+    for attempt in 1..policy.attempts {
+        let pending: Vec<usize> = statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                matches!(s, Some(CellStatus::Refused { reason, .. }) if reason.is_retryable())
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt, REQ)));
+        let retry_specs: Vec<CellSpec> = pending.iter().map(|&i| specs[i].clone()).collect();
+        let sub_req = REQ ^ (u64::from(attempt) << 48) ^ 0x5261_7472_7900_0000;
+        client.submit(sub_req, &retry_specs)?;
+        let replies = client.collect_request(sub_req)?;
+        client.ack(sub_req, &replies.iter().map(|r| r.cell).collect::<Vec<_>>())?;
+        for sub in replies {
+            if let Some(&orig) = pending.get(sub.cell as usize) {
+                if let Some((_, label)) = cells.get(orig) {
+                    progress(&format!("{label} (retry {attempt})"));
+                }
+                statuses[orig] = Some(sub.status);
+            }
+        }
+        attempts = attempt + 1;
+        retried += pending.len();
     }
     client.bye();
 
@@ -159,5 +214,7 @@ pub fn remote_sweep_rows(
         rows,
         failures,
         planned: specs.len(),
+        attempts,
+        retried,
     })
 }

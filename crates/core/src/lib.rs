@@ -45,7 +45,10 @@ mod sim;
 pub mod supervise;
 pub mod zoo;
 
-pub use runner::{CacheAudit, CacheLookup, RunCache, RunKey, RunPlan, RunSet, Runner, WorkloadId};
+pub use runner::{
+    CacheAudit, CacheBudget, CacheEntry, CacheLookup, EvictReport, RunCache, RunKey, RunPlan,
+    RunSet, Runner, WorkloadId,
+};
 #[cfg(feature = "audit")]
 pub use sim::{
     audit_replay_roundtrip, simulate_audited, simulate_audited_ctl, simulate_trace_audited,

@@ -853,6 +853,66 @@ impl CacheAudit {
     }
 }
 
+/// A size budget for [`RunCache::evict_to_budget`]: either bound (or
+/// both) may be set; an unset bound never evicts. The default budget
+/// is unbounded (no eviction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Maximum total bytes of cache entries; `None` = unbounded.
+    pub max_bytes: Option<u64>,
+    /// Maximum number of cache entries; `None` = unbounded.
+    pub max_entries: Option<usize>,
+}
+
+impl CacheBudget {
+    /// `true` when neither bound is set (eviction passes are no-ops).
+    #[must_use]
+    pub fn is_unbounded(&self) -> bool {
+        self.max_bytes.is_none() && self.max_entries.is_none()
+    }
+}
+
+/// One cache entry as enumerated by [`RunCache::entries`].
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// Where the entry lives (sharded or legacy flat layout).
+    pub path: PathBuf,
+    /// The key digest parsed from the file name.
+    pub digest: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-accessed rank in epoch nanoseconds (mtime fallback; 0 when
+    /// unreadable) — the LRU ordering key.
+    pub accessed_ns: u64,
+}
+
+/// What an eviction pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvictReport {
+    /// Entries removed.
+    pub evicted: usize,
+    /// Bytes reclaimed.
+    pub evicted_bytes: u64,
+    /// Entries left in the cache.
+    pub retained: usize,
+    /// Bytes left in the cache.
+    pub retained_bytes: u64,
+    /// Entries that were over budget but pinned by an in-flight run
+    /// and therefore kept.
+    pub pinned_kept: usize,
+}
+
+impl EvictReport {
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "evicted {} entr(ies) / {} bytes, retained {} / {} bytes, {} pinned",
+            self.evicted, self.evicted_bytes, self.retained, self.retained_bytes, self.pinned_kept
+        )
+    }
+}
+
 /// A persistent content-addressed store of completed runs.
 ///
 /// One JSON file per [`RunKey`] under the cache directory, named
@@ -941,8 +1001,6 @@ impl RunCache {
     }
 
     /// `true` for directory names that are shard subdirectories.
-    /// (Only the serde-gated directory walks consult this.)
-    #[cfg(any(feature = "serde", test))]
     fn is_shard_name(name: &str) -> bool {
         name.len() == 2
             && name
@@ -1230,6 +1288,128 @@ impl RunCache {
             }
         }
         moved
+    }
+
+    /// Every entry in the cache (root legacy layout plus shard
+    /// subdirectories) matching the cache naming scheme
+    /// (`<name>-<16 hex digits>.json`), with its key digest, byte
+    /// size, and last-accessed rank. Foreign files — the quarantine
+    /// ledger, the flight journal, stray `.tmp` staging files — are
+    /// not entries and are never returned (so never evicted by
+    /// budget).
+    #[must_use]
+    pub fn entries(&self) -> Vec<CacheEntry> {
+        let Ok(root) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for e in root.filter_map(Result::ok) {
+            let path = e.path();
+            if path.is_dir() {
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                if Self::is_shard_name(&name) {
+                    if let Ok(sub) = std::fs::read_dir(&path) {
+                        paths.extend(sub.filter_map(|e| e.ok().map(|e| e.path())));
+                    }
+                }
+                continue;
+            }
+            paths.push(path);
+        }
+        paths.sort();
+        let mut entries = Vec::new();
+        for path in paths {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let Some(digest) = name
+                .strip_suffix(".json")
+                .and_then(|stem| stem.rsplit_once('-'))
+                .map(|(_, d)| d)
+                .filter(|d| d.len() == 16 && d.bytes().all(|b| b.is_ascii_hexdigit()))
+                .and_then(|d| u64::from_str_radix(d, 16).ok())
+            else {
+                continue; // quarantine.json, journal, stray tmp, foreign
+            };
+            let Ok(meta) = std::fs::metadata(&path) else {
+                continue;
+            };
+            // LRU rank from atime (mtime when atime is unavailable,
+            // e.g. noatime mounts), flattened to epoch nanoseconds so
+            // ordering needs no clock types on this deterministic path.
+            let stamp = meta
+                .accessed()
+                .or_else(|_| meta.modified())
+                .ok()
+                .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+            entries.push(CacheEntry {
+                path,
+                digest,
+                bytes: meta.len(),
+                accessed_ns: stamp,
+            });
+        }
+        entries
+    }
+
+    /// Total `(bytes, entry count)` currently held, by the same
+    /// enumeration as [`entries`](RunCache::entries).
+    #[must_use]
+    pub fn usage(&self) -> (u64, usize) {
+        let entries = self.entries();
+        (entries.iter().map(|e| e.bytes).sum(), entries.len())
+    }
+
+    /// Evicts least-recently-accessed entries until the cache fits
+    /// `budget`, never touching entries for which `pinned` returns
+    /// `true` (the daemon pins every digest with an in-flight
+    /// single-flight, so eviction can neither lose a run that is about
+    /// to be stored nor force a duplicate execution of one being
+    /// delivered).
+    ///
+    /// Ties on access time break toward the lexicographically smaller
+    /// path, keeping the pass deterministic on coarse-clock
+    /// filesystems.
+    pub fn evict_to_budget(
+        &self,
+        budget: &CacheBudget,
+        pinned: &dyn Fn(u64) -> bool,
+    ) -> EvictReport {
+        let mut entries = self.entries();
+        entries.sort_by(|a, b| {
+            a.accessed_ns
+                .cmp(&b.accessed_ns)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        let mut report = EvictReport::default();
+        let mut bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+        let mut count = entries.len();
+        let over = |bytes: u64, count: usize| {
+            budget.max_bytes.is_some_and(|cap| bytes > cap)
+                || budget.max_entries.is_some_and(|cap| count > cap)
+        };
+        for entry in &entries {
+            if !over(bytes, count) {
+                break;
+            }
+            if pinned(entry.digest) {
+                report.pinned_kept += 1;
+                continue;
+            }
+            self.evict(&entry.path);
+            bytes = bytes.saturating_sub(entry.bytes);
+            count -= 1;
+            report.evicted += 1;
+            report.evicted_bytes += entry.bytes;
+        }
+        report.retained = count;
+        report.retained_bytes = bytes;
+        report
     }
 
     /// Probes the cache — inert without the `serde` feature.

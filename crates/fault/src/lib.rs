@@ -75,6 +75,17 @@ pub enum FaultKind {
     /// Slow-loris a protocol write: stall mid-frame for the given
     /// duration so the peer's read-timeout handling is exercised.
     SlowWrite(Duration),
+    /// Kill the process (`std::process::abort`) at the injection site
+    /// — a crash drill for the daemon's flight journal and
+    /// reconnect-and-resume recovery path. The firing is logged to
+    /// stderr by the site before aborting; nothing in-process survives
+    /// to assert on, so this kind is for CLI-level smokes.
+    Kill,
+    /// Evict the run-cache entry under the probed key just before the
+    /// probe — the eviction-vs-admission race, compressed to a point:
+    /// single-flight must still execute the key exactly once and lose
+    /// nothing.
+    EvictCache,
 }
 
 impl FaultKind {
@@ -89,6 +100,8 @@ impl FaultKind {
             FaultKind::DropConnection => "dropconn",
             FaultKind::TruncateFrame => "truncframe",
             FaultKind::SlowWrite(_) => "slowloris",
+            FaultKind::Kill => "kill",
+            FaultKind::EvictCache => "evict",
         }
     }
 }
@@ -161,6 +174,11 @@ impl FaultPlan {
     ///   half before the connection closes.
     /// * `slowloris:250@bw-client` — matching writers stall 250 ms
     ///   mid-frame, exercising peer read timeouts.
+    /// * `killx1@bw-server worker` — the daemon aborts the whole
+    ///   process at its worker crash-drill site (journal/resume
+    ///   recovery smoke).
+    /// * `evictx1@bw-server admit` — the admission probe's cache entry
+    ///   is evicted just before the probe (the eviction race).
     ///
     /// # Errors
     ///
@@ -197,6 +215,8 @@ impl FaultPlan {
                 "dropconn" => FaultKind::DropConnection,
                 "truncframe" => FaultKind::TruncateFrame,
                 "slowloris" => FaultKind::SlowWrite(Duration::from_millis(num("millis")?)),
+                "kill" => FaultKind::Kill,
+                "evict" => FaultKind::EvictCache,
                 other => return Err(format!("unknown fault kind '{other}' in '{clause}'")),
             };
             plan.faults.push(FaultSpec {
@@ -423,6 +443,20 @@ pub fn injected_slow_write(site_id: &str) -> Option<Duration> {
     }
 }
 
+/// Should the process be killed here? (Daemon crash-drill injection
+/// point; the caller logs and then calls `std::process::abort()`.)
+#[must_use]
+pub fn injected_kill(site_id: &str) -> bool {
+    fire(site_id, |k| matches!(k, FaultKind::Kill)).is_some()
+}
+
+/// Should the probed cache entry be evicted just before the probe?
+/// (Daemon admission injection point — the eviction race.)
+#[must_use]
+pub fn injected_cache_evict(site_id: &str) -> bool {
+    fire(site_id, |k| matches!(k, FaultKind::EvictCache)).is_some()
+}
+
 /// FNV-1a — the repo's stable non-cryptographic hash, duplicated here
 /// so the harness stays dependency-free.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -511,6 +545,32 @@ mod tests {
             FaultKind::SlowWrite(Duration::from_millis(250))
         );
         assert_eq!(plan.faults[2].target, "cli");
+    }
+
+    #[test]
+    fn parse_round_trips_durability_kinds() {
+        let plan = FaultPlan::parse("killx1@bw-server worker;evictx2@bw-server admit", 5).unwrap();
+        assert_eq!(plan.faults[0].kind, FaultKind::Kill);
+        assert_eq!(plan.faults[0].times, 1);
+        assert_eq!(plan.faults[1].kind, FaultKind::EvictCache);
+        assert_eq!(plan.faults[1].times, 2);
+        assert_eq!(plan.faults[1].target, "bw-server admit");
+    }
+
+    #[test]
+    fn evict_probe_fires_and_respects_budget() {
+        let _gate = serial();
+        arm(FaultPlan::new(0).fault_times(FaultKind::EvictCache, "bw-server admit", 1));
+        assert!(!injected_cache_evict("bw-server worker"));
+        assert!(!injected_kill("bw-server admit"), "kill not armed");
+        assert!(injected_cache_evict("bw-server admit"));
+        assert!(
+            !injected_cache_evict("bw-server admit"),
+            "budget of 1 exhausted"
+        );
+        let log = disarm();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, "evict");
     }
 
     #[test]

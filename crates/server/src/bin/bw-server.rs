@@ -8,7 +8,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use bw_core::{RunCache, Supervision};
+use bw_core::{CacheBudget, RunCache, Supervision};
 use bw_server::{Server, ServerConfig};
 
 const USAGE: &str = "\
@@ -27,11 +27,26 @@ OPTIONS:
   --queue N            Global pending-run queue bound (default 1024)
   --run-timeout SECS   Per-attempt watchdog for each run (default none)
   --read-timeout SECS  Per-connection read timeout, 0 = none (default 30)
+  --cache-max-bytes N  Evict LRU cache entries past N total bytes
+                       (default unbounded)
+  --cache-max-entries N
+                       Evict LRU cache entries past N files
+                       (default unbounded)
+  --quantum N          Cells served per session per fair-scheduling
+                       round (default 8)
+  --priority-max N     Largest submit the priority lane accepts
+                       (default 64)
   --help               Show this help
 
-Chaos drills: set BW_FAULT (e.g. `dropconnx1@bw-server`) and build with
---features fault-inject to rehearse dropped connections, truncated
-frames, and slow writes.
+Durability: with a cache directory the daemon keeps a checksummed
+flight journal beside it; a restarted daemon replays the journal and
+finishes interrupted sweeps, and clients resume with their session
+token.
+
+Chaos drills: set BW_FAULT (e.g. `dropconnx1@bw-server`, `killx1@bw-server
+worker`, `evictx1@bw-server admit`) and build with --features
+fault-inject to rehearse dropped connections, truncated frames, slow
+writes, mid-sweep crashes, and eviction races.
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -89,6 +104,29 @@ fn main() -> ExitCode {
                 Ok(0) => cfg.read_timeout = None,
                 Ok(n) => cfg.read_timeout = Some(Duration::from_secs(n)),
                 Err(e) => return fail(&format!("--read-timeout: {e}")),
+            },
+            "--cache-max-bytes" => match value("--cache-max-bytes").and_then(parse_num) {
+                Ok(n) => {
+                    let budget = cfg.cache_budget.get_or_insert_with(CacheBudget::default);
+                    budget.max_bytes = Some(n);
+                }
+                Err(e) => return fail(&format!("--cache-max-bytes: {e}")),
+            },
+            "--cache-max-entries" => match value("--cache-max-entries").and_then(parse_num) {
+                Ok(n) => {
+                    let budget = cfg.cache_budget.get_or_insert_with(CacheBudget::default);
+                    budget.max_entries = Some(n as usize);
+                }
+                Err(e) => return fail(&format!("--cache-max-entries: {e}")),
+            },
+            "--quantum" => match value("--quantum").and_then(parse_num) {
+                Ok(0) => return fail("--quantum must be at least 1"),
+                Ok(n) => cfg.quantum = n,
+                Err(e) => return fail(&format!("--quantum: {e}")),
+            },
+            "--priority-max" => match value("--priority-max").and_then(parse_num) {
+                Ok(n) => cfg.priority_max = n,
+                Err(e) => return fail(&format!("--priority-max: {e}")),
             },
             other => return fail(&format!("unknown argument `{other}`")),
         }

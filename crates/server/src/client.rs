@@ -5,12 +5,26 @@
 //! mode. One connection carries any number of requests; replies for a
 //! request stream back in completion order and are re-sorted by cell
 //! index by [`Client::collect_request`].
+//!
+//! Protocol v2 adds durability hooks:
+//!
+//! * [`Client::connect_with`] presents a saved session token; the
+//!   daemon resumes the session and [`Client::resume`] redelivers
+//!   every cell the client never [`Client::ack`]ed — the
+//!   reconnect-and-resume path after a dropped connection or a daemon
+//!   restart.
+//! * [`Client::run_cells_with_retry`] wraps the one-shot submit in
+//!   capped exponential backoff with deterministic jitter, retrying
+//!   only cells the daemon refused with a *retryable* reason
+//!   (quota/queue-full backpressure).
 
 use std::io::Write;
+use std::time::Duration;
 
 use crate::net::Stream;
 use crate::protocol::{
-    encode_frame, hello, read_frame, CellReply, ClientMsg, ServerMsg, WireError, PROTOCOL_VERSION,
+    encode_frame, hello_with, read_frame, CellReply, CellStatus, ClientMsg, ServerMsg, WireError,
+    PROTOCOL_VERSION,
 };
 use crate::request::CellSpec;
 
@@ -50,11 +64,13 @@ pub struct Client {
     stream: Stream,
     quota: u64,
     queue_capacity: u64,
+    session: String,
+    resumed: bool,
 }
 
 impl Client {
     /// Connects to `addr` (TCP `host:port` or `unix:/path`) and runs
-    /// the version handshake.
+    /// the version handshake, receiving a fresh session token.
     ///
     /// # Errors
     ///
@@ -62,14 +78,27 @@ impl Client {
     /// [`ClientError::Handshake`] when the peer is not a compatible
     /// daemon.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Client::connect_with(addr, None)
+    }
+
+    /// Connects presenting a saved session token. When the daemon
+    /// still knows the session, [`Client::resumed`] is true and
+    /// [`Client::resume`] will redeliver every unacknowledged cell.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_with(addr: &str, session: Option<&str>) -> Result<Client, ClientError> {
         let mut stream =
             Stream::connect(addr).map_err(|e| ClientError::Wire(WireError::Io(e.to_string())))?;
-        send_msg(&mut stream, &hello())?;
+        send_msg(&mut stream, &hello_with(session))?;
         match recv_msg(&mut stream)? {
             Some(ServerMsg::HelloAck {
                 protocol,
                 quota,
                 queue_capacity,
+                session,
+                resumed,
             }) => {
                 if protocol != PROTOCOL_VERSION {
                     return Err(ClientError::Handshake(format!(
@@ -80,6 +109,8 @@ impl Client {
                     stream,
                     quota,
                     queue_capacity,
+                    session,
+                    resumed,
                 })
             }
             Some(ServerMsg::Error { message }) => Err(ClientError::Handshake(message)),
@@ -104,6 +135,20 @@ impl Client {
         self.queue_capacity
     }
 
+    /// This connection's session token — save it to reconnect and
+    /// resume after a drop or a daemon restart.
+    #[must_use]
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// Whether the handshake resumed an existing session (the daemon
+    /// recognized the presented token).
+    #[must_use]
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
     /// Submits one request; replies arrive via [`Client::next_msg`] /
     /// [`Client::collect_request`].
     ///
@@ -111,13 +156,74 @@ impl Client {
     ///
     /// [`ClientError::Wire`] if the frame cannot be sent.
     pub fn submit(&mut self, req: u64, cells: &[CellSpec]) -> Result<(), ClientError> {
+        self.submit_with(req, cells, false)
+    }
+
+    /// Submits one request, optionally asking for the daemon's
+    /// priority lane (honored for small submits; see the daemon's
+    /// `priority_max`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] if the frame cannot be sent.
+    pub fn submit_with(
+        &mut self,
+        req: u64,
+        cells: &[CellSpec],
+        priority: bool,
+    ) -> Result<(), ClientError> {
         send_msg(
             &mut self.stream,
             &ClientMsg::Submit {
                 req,
                 cells: cells.to_vec(),
+                priority,
             },
         )
+    }
+
+    /// Acknowledges received cells of request `req` by index, moving
+    /// the session's delivery watermark: acked cells are never
+    /// redelivered by [`Client::resume`], and fully-acked requests
+    /// are dropped from the daemon's journal.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] if the frame cannot be sent.
+    pub fn ack(&mut self, req: u64, cells: &[u64]) -> Result<(), ClientError> {
+        send_msg(
+            &mut self.stream,
+            &ClientMsg::Ack {
+                req,
+                cells: cells.to_vec(),
+            },
+        )
+    }
+
+    /// Asks the daemon to redeliver everything this session never
+    /// acked. Returns the outstanding request ids; each then settles
+    /// through the normal reply stream ([`Client::collect_request`]
+    /// per request). Call before submitting new work on a resumed
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] on an error frame, [`ClientError::Wire`]
+    /// if the connection dies first.
+    pub fn resume(&mut self) -> Result<Vec<u64>, ClientError> {
+        send_msg(&mut self.stream, &ClientMsg::Resume)?;
+        loop {
+            match self.next_msg()? {
+                Some(ServerMsg::Resumed { reqs }) => return Ok(reqs),
+                Some(ServerMsg::Error { message }) => return Err(ClientError::Server(message)),
+                Some(_) => {}
+                None => {
+                    return Err(ClientError::Wire(WireError::Closed(
+                        "before the resume reply".to_string(),
+                    )))
+                }
+            }
+        }
     }
 
     /// Reads the next server frame; `Ok(None)` is a clean close.
@@ -169,6 +275,70 @@ impl Client {
     ) -> Result<Vec<CellReply>, ClientError> {
         self.submit(req, cells)?;
         self.collect_request(req)
+    }
+
+    /// [`Client::run_cells`] with capped exponential backoff on
+    /// *retryable* refusals (quota / queue-full backpressure): only
+    /// the refused cells are resubmitted, under derived request ids,
+    /// and their final statuses are merged back under the original
+    /// cell indices. Non-retryable refusals (bad request, quarantine)
+    /// and failures are returned as-is.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::run_cells`]; an exhausted retry budget is not an
+    /// error — the surviving refusals are in the replies and the
+    /// attempt count in the report.
+    pub fn run_cells_with_retry(
+        &mut self,
+        req: u64,
+        cells: &[CellSpec],
+        priority: bool,
+        policy: &RetryPolicy,
+    ) -> Result<(Vec<CellReply>, RetryReport), ClientError> {
+        self.submit_with(req, cells, priority)?;
+        let mut replies = self.collect_request(req)?;
+        let mut report = RetryReport {
+            attempts: 1,
+            retried: 0,
+        };
+        for attempt in 1..policy.attempts.max(1) {
+            // The cells still worth retrying, under their original
+            // submit indices.
+            let pending: Vec<u64> = replies
+                .iter()
+                .filter(|r| {
+                    matches!(&r.status, CellStatus::Refused { reason, .. }
+                        if reason.is_retryable())
+                })
+                .map(|r| r.cell)
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt, req)));
+            let specs: Vec<CellSpec> = pending
+                .iter()
+                .map(|&i| cells[usize::try_from(i).unwrap_or(usize::MAX)].clone())
+                .collect();
+            // A derived request id far from user-chosen ones, so the
+            // retry's frames never collide with a concurrent request
+            // on this connection.
+            let sub_req = req ^ (u64::from(attempt) << 48) ^ 0x5261_7472_7900_0000;
+            self.submit_with(sub_req, &specs, priority)?;
+            for sub in self.collect_request(sub_req)? {
+                let Some(&orig) = pending.get(usize::try_from(sub.cell).unwrap_or(usize::MAX))
+                else {
+                    continue;
+                };
+                if let Some(slot) = replies.iter_mut().find(|r| r.cell == orig) {
+                    slot.status = sub.status;
+                }
+            }
+            report.attempts = attempt + 1;
+            report.retried += pending.len();
+        }
+        Ok((replies, report))
     }
 
     /// Asks the daemon for its counters: `(executed, queued,
@@ -249,5 +419,111 @@ fn recv_msg(stream: &mut Stream) -> Result<Option<ServerMsg>, ClientError> {
     match read_frame(stream)? {
         Some(v) => Ok(Some(ServerMsg::from_value(&v)?)),
         None => Ok(None),
+    }
+}
+
+/// Backoff schedule for [`Client::run_cells_with_retry`]: capped
+/// exponential delay with *deterministic* jitter (hashed from the
+/// request id and attempt number, not sampled from a clock or RNG —
+/// two runs of the same sweep back off identically, but distinct
+/// requests desynchronize instead of stampeding the daemon in step).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub attempts: u32,
+    /// Delay before the first retry, in milliseconds; doubles per
+    /// attempt.
+    pub base_ms: u64,
+    /// Ceiling on any single delay, in milliseconds.
+    pub max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 50 ms base, 2 s cap.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_ms: 50,
+            max_ms: 2_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            base_ms: 0,
+            max_ms: 0,
+        }
+    }
+
+    /// The delay before retry `attempt` (1-based), in milliseconds:
+    /// half the capped exponential step plus deterministic jitter over
+    /// the other half.
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1_u64 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_ms);
+        if capped == 0 {
+            return 0;
+        }
+        let half = capped / 2;
+        let mut seed = [0_u8; 12];
+        seed[..8].copy_from_slice(&salt.to_be_bytes());
+        seed[8..].copy_from_slice(&attempt.to_be_bytes());
+        half + crate::journal::fnv1a(&seed) % (capped - half + 1)
+    }
+}
+
+/// What [`Client::run_cells_with_retry`] did beyond the first attempt.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryReport {
+    /// Attempts made (1 = everything settled first try).
+    pub attempts: u32,
+    /// Cell resubmissions across all retries.
+    pub retried: usize,
+}
+
+impl RetryReport {
+    /// `true` when at least one retry happened — worth surfacing in a
+    /// failure summary.
+    #[must_use]
+    pub fn retried_any(&self) -> bool {
+        self.attempts > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_growing() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..6 {
+            let a = policy.delay_ms(attempt, 42);
+            let b = policy.delay_ms(attempt, 42);
+            assert_eq!(a, b, "same salt and attempt, same delay");
+            assert!(a <= policy.max_ms, "delay respects the cap");
+        }
+        // The floor (half the exponential step) grows until the cap.
+        assert!(policy.delay_ms(3, 7) >= 100);
+        assert!(policy.delay_ms(1, 1) >= 25);
+        // Distinct salts desynchronize.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..16).map(|salt| policy.delay_ms(2, salt)).collect();
+        assert!(spread.len() > 1, "jitter must actually vary by salt");
+    }
+
+    #[test]
+    fn none_policy_never_sleeps() {
+        let policy = RetryPolicy::none();
+        assert_eq!(policy.attempts, 1);
+        assert_eq!(policy.delay_ms(1, 9), 0);
     }
 }

@@ -32,8 +32,27 @@
 //! keys at or past the supervision policy's quarantine threshold are
 //! refused fast with their failure history, before any queue slot or
 //! quota is spent on them.
+//!
+//! # Durability
+//!
+//! With a cache directory configured, the daemon keeps a crash-safe
+//! [flight journal](crate::journal) beside the cache: every issued
+//! session, admitted plan, client ack, and completed digest is
+//! appended before the daemon acts on it. [`Server::launch`] replays
+//! the journal, rebuilds the session table, compacts the file, and
+//! re-enqueues *orphan flights* — journaled cells that are neither
+//! acked nor in the cache — so a killed daemon's sweep resumes with
+//! only the missing work. Clients reconnect with their session token
+//! and are resumed: only unacknowledged cells are redelivered.
+//!
+//! # Fair scheduling
+//!
+//! The run queue is a [`FairSched`]: deficit round-robin across
+//! session lanes plus a priority lane (capped per submit by
+//! [`ServerConfig::priority_max`]), so a bulk sweep pays for its own
+//! latency instead of starving small interactive requests.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,15 +60,20 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use bw_core::{CacheLookup, QuarantineView, RunCache, RunOutcome, RunPlan, Runner, Supervision};
+use bw_core::{
+    CacheBudget, CacheLookup, QuarantineView, RunCache, RunOutcome, RunPlan, Runner, Supervision,
+};
 use serde::Serialize;
 
+use crate::journal::{Journal, JournalRecord};
 use crate::net::{Listener, Stream};
 use crate::protocol::{
     encode_frame, read_frame, CellReply, CellStatus, ClientMsg, RefuseReason, ServerMsg, MAGIC,
     PROTOCOL_VERSION,
 };
 use crate::request::{resolve_cell, CellSpec, ResolvedCell};
+use crate::sched::FairSched;
+use crate::session::SessionStore;
 
 /// Daemon policy knobs.
 #[derive(Clone, Debug)]
@@ -71,11 +95,22 @@ pub struct ServerConfig {
     /// Supervision policy applied to every run (watchdog, retries,
     /// quarantine threshold).
     pub supervision: Supervision,
+    /// Run-cache size budget; after each completed flight the daemon
+    /// evicts least-recently-used entries past it, never touching
+    /// digests with a live flight. `None` means unbounded.
+    pub cache_budget: Option<CacheBudget>,
+    /// Flights served per session lane per round-robin visit.
+    pub quantum: u64,
+    /// Largest submit (in cells) the priority lane accepts; bigger
+    /// priority submits are demoted to their session lane so the
+    /// priority flag cannot starve the rotation.
+    pub priority_max: u64,
 }
 
 impl Default for ServerConfig {
     /// Two workers, quota 256, queue 1024, 30 s read timeout, default
-    /// supervision, no cache.
+    /// supervision, no cache, unbounded cache, quantum 8, priority
+    /// submits capped at 64 cells.
     fn default() -> Self {
         ServerConfig {
             cache_dir: None,
@@ -84,6 +119,9 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             read_timeout: Some(Duration::from_secs(30)),
             supervision: Supervision::default(),
+            cache_budget: None,
+            quantum: 8,
+            priority_max: 64,
         }
     }
 }
@@ -135,12 +173,12 @@ struct Flight {
     subscribers: Vec<Subscriber>,
 }
 
-/// Scheduler state: the bounded run queue (digests, FIFO) and the
+/// Scheduler state: the bounded fair run queue (digests) and the
 /// flight table. A digest stays in `flights` from admission until its
 /// result is delivered, including while a worker is executing it —
 /// that is what late subscribers attach to.
 struct Sched {
-    queue: VecDeque<u64>,
+    queue: FairSched,
     flights: BTreeMap<u64, Flight>,
 }
 
@@ -149,6 +187,12 @@ struct Shared {
     cfg: ServerConfig,
     sched: Mutex<Sched>,
     work_ready: Condvar,
+    /// Session table: reconnect tokens and per-request delivery
+    /// watermarks.
+    sessions: Mutex<SessionStore>,
+    /// The flight journal (present iff a cache directory is). The
+    /// mutex serializes appends so journal lines never interleave.
+    journal: Option<Mutex<Journal>>,
     /// Supervised runs actually executed since startup (the
     /// single-flight observable: cache hits and subscriptions are
     /// excluded).
@@ -159,6 +203,19 @@ struct Shared {
 impl Shared {
     fn lock_sched(&self) -> MutexGuard<'_, Sched> {
         self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_sessions(&self) -> MutexGuard<'_, SessionStore> {
+        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn journal_append(&self, record: &JournalRecord) {
+        if let Some(journal) = &self.journal {
+            journal
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .append(record);
+        }
     }
 }
 
@@ -182,13 +239,14 @@ impl Server {
     pub fn launch(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = Listener::bind(addr)?;
         let bound = listener.local_addr();
+        let journal = cfg.cache_dir.as_deref().map(Journal::in_dir);
+        let (sessions, sched) = recover(&cfg, journal.as_ref());
         let shared = Arc::new(Shared {
             cfg,
-            sched: Mutex::new(Sched {
-                queue: VecDeque::new(),
-                flights: BTreeMap::new(),
-            }),
+            sched: Mutex::new(sched),
             work_ready: Condvar::new(),
+            sessions: Mutex::new(sessions),
+            journal: journal.map(Mutex::new),
             executed: AtomicU64::new(0),
             stop: AtomicBool::new(false),
         });
@@ -267,6 +325,85 @@ impl Drop for Server {
 }
 
 // ---------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------
+
+/// Rebuilds startup state from the flight journal: the session table
+/// (tokens and delivery watermarks), a compacted journal, and a
+/// scheduler pre-loaded with *orphan flights* — journaled cells that
+/// are neither acked, nor completed (`done` record), nor already in
+/// the run cache. Orphans carry no subscribers; their results land in
+/// the cache for the owning client to collect when it resumes.
+fn recover(cfg: &ServerConfig, journal: Option<&Journal>) -> (SessionStore, Sched) {
+    let mut sessions = SessionStore::new();
+    let mut sched = Sched {
+        queue: FairSched::new(cfg.quantum),
+        flights: BTreeMap::new(),
+    };
+    let Some(journal) = journal else {
+        return (sessions, sched);
+    };
+    let replay = journal.replay();
+    let mut done = BTreeSet::new();
+    for record in &replay.records {
+        match record {
+            JournalRecord::Session { token } => sessions.adopt(token),
+            JournalRecord::Plan {
+                token,
+                req,
+                cells,
+                priority,
+            } => sessions.record_plan(token, *req, cells, *priority),
+            JournalRecord::Ack { token, req, cells } => sessions.record_ack(token, *req, cells),
+            JournalRecord::Done { digest } => {
+                done.insert(*digest);
+            }
+        }
+    }
+    if replay.skipped > 0 {
+        eprintln!(
+            "bw-server: journal replay skipped {} torn or damaged line(s)",
+            replay.skipped
+        );
+    }
+    // Compact: live plans and watermarks only. Completed digests need
+    // no record — the run cache is the durable record of doneness.
+    journal.rewrite(&sessions.live_records());
+
+    let cache = cfg.cache_dir.clone().map(RunCache::new);
+    let mut restarted = 0_usize;
+    for token in sessions.tokens() {
+        for pending in sessions.pending(&token) {
+            let Ok(cell) = resolve_cell(&pending.spec) else {
+                continue;
+            };
+            let digest = cell.key.digest();
+            if done.contains(&digest) || sched.flights.contains_key(&digest) {
+                continue;
+            }
+            if let Some(cache) = &cache {
+                if matches!(cache.load_checked(&cell.key), CacheLookup::Hit(_)) {
+                    continue;
+                }
+            }
+            sched.flights.insert(
+                digest,
+                Flight {
+                    cell,
+                    subscribers: Vec::new(),
+                },
+            );
+            sched.queue.push(&token, digest, pending.priority);
+            restarted += 1;
+        }
+    }
+    if restarted > 0 {
+        eprintln!("bw-server: restarting {restarted} journaled flight(s) after recovery");
+    }
+    (sessions, sched)
+}
+
+// ---------------------------------------------------------------------
 // Connection threads
 // ---------------------------------------------------------------------
 
@@ -290,19 +427,41 @@ fn serve_conn(shared: &Shared, stream: Stream, peer: &str) {
     let writer = std::thread::spawn(move || conn_writer(&rx, write_half, &writer_peer));
 
     let mut reader = stream;
-    if handshake(&mut reader, &conn) {
-        conn.send(ServerMsg::HelloAck {
-            protocol: PROTOCOL_VERSION,
-            quota: shared.cfg.quota,
-            queue_capacity: shared.cfg.queue_capacity as u64,
-        });
+    if let Some(token) = handshake(shared, &mut reader, &conn) {
         loop {
             match read_frame(&mut reader) {
                 Ok(None) => break,
                 Ok(Some(v)) => match ClientMsg::from_value(&v) {
-                    Ok(ClientMsg::Submit { req, cells }) => {
-                        admit_submit(shared, &conn, req, &cells);
+                    Ok(ClientMsg::Submit {
+                        req,
+                        cells,
+                        priority,
+                    }) => {
+                        shared.journal_append(&JournalRecord::Plan {
+                            token: token.clone(),
+                            req,
+                            cells: cells.clone(),
+                            priority,
+                        });
+                        shared
+                            .lock_sessions()
+                            .record_plan(&token, req, &cells, priority);
+                        let items: Vec<(u64, CellSpec)> = cells
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| (i as u64, c.clone()))
+                            .collect();
+                        admit_cells(shared, &conn, &token, req, &items, priority);
                     }
+                    Ok(ClientMsg::Ack { req, cells }) => {
+                        shared.journal_append(&JournalRecord::Ack {
+                            token: token.clone(),
+                            req,
+                            cells: cells.clone(),
+                        });
+                        shared.lock_sessions().record_ack(&token, req, &cells);
+                    }
+                    Ok(ClientMsg::Resume) => resume_session(shared, &conn, &token),
                     Ok(ClientMsg::Stats) => {
                         let (queued, inflight) = {
                             let sched = shared.lock_sched();
@@ -349,28 +508,65 @@ fn serve_conn(shared: &Shared, stream: Stream, peer: &str) {
     let _ = writer.join();
 }
 
-/// Validates the first frame as a version handshake. On mismatch the
-/// peer gets a typed error naming what the daemon expected.
-fn handshake(reader: &mut Stream, conn: &ConnShared) -> bool {
+/// Validates the first frame as a version handshake and settles the
+/// connection's session: a presented token resumes its session
+/// (`resumed: true` iff the daemon still knows it), no token gets a
+/// freshly issued one. Returns the session token, or `None` when the
+/// handshake failed (a typed error names what the daemon expected).
+fn handshake(shared: &Shared, reader: &mut Stream, conn: &ConnShared) -> Option<String> {
     let refuse = |message: String| {
         conn.send(ServerMsg::Error { message });
-        false
+        None
     };
     match read_frame(reader) {
         Ok(Some(v)) => match ClientMsg::from_value(&v) {
-            Ok(ClientMsg::Hello { magic, protocol })
-                if magic == MAGIC && protocol == PROTOCOL_VERSION =>
-            {
-                true
+            Ok(ClientMsg::Hello {
+                magic,
+                protocol,
+                session,
+            }) if magic == MAGIC && protocol == PROTOCOL_VERSION => {
+                let (token, resumed) = {
+                    let mut sessions = shared.lock_sessions();
+                    match session {
+                        Some(token) => {
+                            let known = sessions.contains(&token);
+                            if !known {
+                                // Unknown token (journal lost, or a
+                                // fully-drained session): adopt it so
+                                // the client keeps its identity, but
+                                // report resumed=false — there is
+                                // nothing to replay.
+                                sessions.adopt(&token);
+                            }
+                            (token, known)
+                        }
+                        None => (sessions.issue(), false),
+                    }
+                };
+                if !resumed {
+                    shared.journal_append(&JournalRecord::Session {
+                        token: token.clone(),
+                    });
+                }
+                conn.send(ServerMsg::HelloAck {
+                    protocol: PROTOCOL_VERSION,
+                    quota: shared.cfg.quota,
+                    queue_capacity: shared.cfg.queue_capacity as u64,
+                    session: token.clone(),
+                    resumed,
+                });
+                Some(token)
             }
-            Ok(ClientMsg::Hello { magic, protocol }) => refuse(format!(
+            Ok(ClientMsg::Hello {
+                magic, protocol, ..
+            }) => refuse(format!(
                 "handshake mismatch: magic `{magic}` protocol {protocol}, \
                  want `{MAGIC}` protocol {PROTOCOL_VERSION}"
             )),
             Ok(_) => refuse("first frame must be hello".to_string()),
             Err(e) => refuse(format!("bad handshake frame: {e}")),
         },
-        Ok(None) => false,
+        Ok(None) => None,
         Err(e) => refuse(format!("handshake failed: {e}")),
     }
 }
@@ -424,11 +620,22 @@ fn conn_writer(rx: &mpsc::Receiver<ServerMsg>, mut stream: Stream, peer: &str) {
 // Admission
 // ---------------------------------------------------------------------
 
-/// Admits one `submit` under a single scheduler lock hold. See the
-/// module docs for the per-cell settle order and why the cache probe
-/// must happen under the lock.
-fn admit_submit(shared: &Shared, conn: &Arc<ConnShared>, req: u64, cells: &[CellSpec]) {
-    if cells.is_empty() {
+/// Admits one request's cells under a single scheduler lock hold. See
+/// the module docs for the per-cell settle order and why the cache
+/// probe must happen under the lock. `items` carries explicit cell
+/// indices so a resume can redeliver a sparse subset of the original
+/// submit; `priority` routes the cells to the priority lane when the
+/// submit is small enough ([`ServerConfig::priority_max`]), otherwise
+/// to the session's round-robin lane.
+fn admit_cells(
+    shared: &Shared,
+    conn: &Arc<ConnShared>,
+    token: &str,
+    req: u64,
+    items: &[(u64, CellSpec)],
+    priority: bool,
+) {
+    if items.is_empty() {
         conn.send(ServerMsg::Done {
             req,
             ok: 0,
@@ -437,9 +644,10 @@ fn admit_submit(shared: &Shared, conn: &Arc<ConnShared>, req: u64, cells: &[Cell
         });
         return;
     }
+    let priority = priority && items.len() as u64 <= shared.cfg.priority_max;
     let progress = Arc::new(ReqProgress {
         req,
-        remaining: AtomicU64::new(cells.len() as u64),
+        remaining: AtomicU64::new(items.len() as u64),
         ok: AtomicU64::new(0),
         refused: AtomicU64::new(0),
         failed: AtomicU64::new(0),
@@ -453,8 +661,8 @@ fn admit_submit(shared: &Shared, conn: &Arc<ConnShared>, req: u64, cells: &[Cell
 
     let mut admitted_new_work = false;
     let mut sched = shared.lock_sched();
-    for (i, spec) in cells.iter().enumerate() {
-        let idx = i as u64;
+    for (idx, spec) in items {
+        let idx = *idx;
         let refuse = |reason: RefuseReason, detail: String| {
             deliver_reply(&progress, idx, CellStatus::Refused { reason, detail });
         };
@@ -493,6 +701,20 @@ fn admit_submit(shared: &Shared, conn: &Arc<ConnShared>, req: u64, cells: &[Cell
             continue;
         }
         if let Some(cache) = &cache {
+            #[cfg(feature = "fault-inject")]
+            if bw_fault::injected_cache_evict("bw-server admit") {
+                // The eviction-race drill: the probed entry vanishes
+                // at the worst moment, just before the cache probe
+                // under the scheduler lock. Single-flight must turn
+                // this into one re-execution, never two and never a
+                // lost reply.
+                for entry in cache.entries() {
+                    if entry.digest == digest {
+                        eprintln!("bw-server: injected cache eviction of {digest:016x}");
+                        let _ = std::fs::remove_file(&entry.path);
+                    }
+                }
+            }
             if let CacheLookup::Hit(result) = cache.load_checked(&cell.key) {
                 deliver_reply(&progress, idx, CellStatus::Ok(Box::new(result.to_value())));
                 continue;
@@ -523,12 +745,38 @@ fn admit_submit(shared: &Shared, conn: &Arc<ConnShared>, req: u64, cells: &[Cell
                 }],
             },
         );
-        sched.queue.push_back(digest);
+        sched.queue.push(token, digest, priority);
         admitted_new_work = true;
     }
     drop(sched);
     if admitted_new_work {
         shared.work_ready.notify_all();
+    }
+}
+
+/// Handles a `resume` frame: names the session's outstanding requests
+/// in a `resumed` frame, then re-admits every unacknowledged cell of
+/// each — original indices, original priority — so the client receives
+/// exactly the deliveries it never acked. Completed cells settle from
+/// the run cache (or the still-registered flight); only genuinely
+/// missing work is re-executed.
+fn resume_session(shared: &Shared, conn: &Arc<ConnShared>, token: &str) {
+    let (reqs, pending) = {
+        let sessions = shared.lock_sessions();
+        (sessions.open_reqs(token), sessions.pending(token))
+    };
+    conn.send(ServerMsg::Resumed { reqs: reqs.clone() });
+    for req in reqs {
+        let items: Vec<(u64, CellSpec)> = pending
+            .iter()
+            .filter(|p| p.req == req)
+            .map(|p| (p.index, p.spec.clone()))
+            .collect();
+        let priority = pending
+            .iter()
+            .find(|p| p.req == req)
+            .is_some_and(|p| p.priority);
+        admit_cells(shared, conn, token, req, &items, priority);
     }
 }
 
@@ -569,7 +817,7 @@ fn daemon_worker(shared: &Shared) {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(digest) = sched.queue.pop_front() {
+                if let Some(digest) = sched.queue.pop() {
                     // The flight stays registered while it runs, so
                     // late requests for the key subscribe instead of
                     // re-enqueueing it.
@@ -584,6 +832,14 @@ fn daemon_worker(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        #[cfg(feature = "fault-inject")]
+        if bw_fault::injected_kill("bw-server worker") {
+            // The crash drill: die exactly where a real daemon dies —
+            // mid-sweep, with admitted flights journaled but not done.
+            // abort() skips destructors and atexit, like SIGKILL.
+            eprintln!("bw-server: injected kill; aborting");
+            std::process::abort();
+        }
         run_flight(shared, &cell);
     }
 }
@@ -629,6 +885,14 @@ fn run_flight(shared: &Shared, cell: &ResolvedCell) {
             }
         }
     };
+    // A completed (cached) result is durable: journal the digest so a
+    // restarted daemon knows this cell needs no re-execution even
+    // before it probes the cache.
+    if matches!(status, CellStatus::Ok(_)) {
+        shared.journal_append(&JournalRecord::Done {
+            digest: cell.key.digest(),
+        });
+    }
     // The flight is deregistered under the lock, after run_supervised
     // has stored the result: a submit either sees the flight (and
     // subscribes to this settle) or sees the cache entry — never
@@ -644,5 +908,26 @@ fn run_flight(shared: &Shared, cell: &ResolvedCell) {
     for sub in subscribers {
         sub.progress.conn.inflight.fetch_sub(1, Ordering::SeqCst);
         deliver_reply(&sub.progress, sub.cell_index, status.clone());
+    }
+    enforce_cache_budget(shared);
+}
+
+/// The post-flight eviction pass: when a cache budget is configured,
+/// trims the run cache back to it, LRU first. Digests with a live
+/// flight are pinned — evicting an entry between its store and its
+/// delivery (or while subscribers are attached) could force a
+/// duplicate execution of work the daemon just paid for.
+fn enforce_cache_budget(shared: &Shared) {
+    let Some(budget) = &shared.cfg.cache_budget else {
+        return;
+    };
+    let Some(dir) = &shared.cfg.cache_dir else {
+        return;
+    };
+    let cache = RunCache::new(dir.clone());
+    let pinned: BTreeSet<u64> = shared.lock_sched().flights.keys().copied().collect();
+    let report = cache.evict_to_budget(budget, &|digest| pinned.contains(&digest));
+    if report.evicted > 0 {
+        eprintln!("bw-server: cache budget pass: {}", report.summary());
     }
 }

@@ -23,6 +23,15 @@
 //! * **Admission control** — a bounded global run queue and per-client
 //!   in-flight quotas; overload sheds with typed backpressure
 //!   responses instead of hanging or disconnecting.
+//! * **Durability** ([`journal`], [`session`]) — protocol v2 issues
+//!   session tokens and keeps a crash-safe, checksummed flight
+//!   journal beside the run cache. A restarted daemon replays the
+//!   journal, restarts only the missing cells, and lets clients
+//!   reconnect with their token to resume exactly the deliveries they
+//!   never acknowledged.
+//! * **Fair scheduling** ([`sched`]) — the run queue is deficit
+//!   round-robin across sessions with a bounded priority lane, so one
+//!   session's bulk sweep cannot starve its neighbors.
 //!
 //! The [`client`] module is the blocking client used by `bw-client`
 //! and the experiment binaries' `--server ADDR` mode.
@@ -32,14 +41,20 @@
 
 pub mod client;
 pub mod daemon;
+pub mod journal;
 mod net;
 pub mod protocol;
 pub mod request;
+pub mod sched;
+pub mod session;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy, RetryReport};
 pub use daemon::{Server, ServerConfig};
+pub use journal::{Journal, JournalRecord, JournalReplay, JOURNAL_FILE};
 pub use protocol::{
     CellReply, CellStatus, ClientMsg, RefuseReason, ServerMsg, WireError, MAX_FRAME,
     PROTOCOL_VERSION,
 };
 pub use request::{predictor_by_label, resolve_cell, CellSpec, RequestError, ResolvedCell};
+pub use sched::FairSched;
+pub use session::{PendingCell, SessionStore};

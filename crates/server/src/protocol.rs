@@ -21,8 +21,11 @@ use serde::Value;
 use crate::request::CellSpec;
 
 /// Protocol generation. Bumped on any frame-layout or message-shape
-/// change; the handshake refuses a mismatched peer.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// change; the handshake refuses a mismatched peer. Version 2 added
+/// durable sessions: a session token in the handshake, delivery
+/// acknowledgements, the `resume` frame, and a priority flag on
+/// submits.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Handshake magic, so a peer that is not speaking this protocol at
 /// all is refused with a clear error instead of a shape mismatch.
@@ -136,12 +139,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Value>, WireError> {
 // Field accessors (validate-at-decode helpers)
 // ---------------------------------------------------------------------
 
-fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, WireError> {
+pub(crate) fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, WireError> {
     v.get(key)
         .ok_or_else(|| WireError::Malformed(format!("missing field `{key}`")))
 }
 
-fn str_field(v: &Value, key: &str) -> Result<String, WireError> {
+pub(crate) fn str_field(v: &Value, key: &str) -> Result<String, WireError> {
     match field(v, key)? {
         Value::Str(s) => Ok(s.clone()),
         other => Err(WireError::Malformed(format!(
@@ -186,6 +189,11 @@ pub enum ClientMsg {
         magic: String,
         /// Must equal [`PROTOCOL_VERSION`].
         protocol: u32,
+        /// A session token from a previous connection's
+        /// [`ServerMsg::HelloAck`], to reattach to that session's
+        /// journaled requests. `None` (or a token the daemon no longer
+        /// knows) starts a fresh session.
+        session: Option<String>,
     },
     /// A sweep request: a client-chosen request id and the cells to
     /// simulate. Replies stream back as [`ServerMsg::Cell`] frames
@@ -195,7 +203,26 @@ pub enum ClientMsg {
         req: u64,
         /// The cells, addressed in replies by index into this vector.
         cells: Vec<CellSpec>,
+        /// Ask for the scheduler's priority lane (interactive grids).
+        /// Honored only for small submits (the daemon's
+        /// `priority_max`); larger plans fall back to the fair lanes.
+        priority: bool,
     },
+    /// Acknowledges delivered cells of a request — the session's
+    /// delivered-cell watermark. Acked cells are never redelivered by
+    /// [`ClientMsg::Resume`], and fully-acked requests leave the
+    /// flight journal at the next compaction.
+    Ack {
+        /// The request the cells belong to.
+        req: u64,
+        /// Cell indices received and persisted by the client.
+        cells: Vec<u64>,
+    },
+    /// Asks the daemon to redeliver every unacknowledged cell of the
+    /// session's journaled requests. Answered by one
+    /// [`ServerMsg::Resumed`] naming the requests being redelivered,
+    /// then the usual cell/done stream per request.
+    Resume,
     /// Asks for daemon counters; answered by [`ServerMsg::Stats`].
     Stats,
     /// Polite goodbye; the server closes the connection.
@@ -207,19 +234,43 @@ impl ClientMsg {
     #[must_use]
     pub fn to_value(&self) -> Value {
         match self {
-            ClientMsg::Hello { magic, protocol } => Value::Obj(vec![
-                ("type".into(), Value::Str("hello".into())),
-                ("magic".into(), Value::Str(magic.clone())),
-                ("protocol".into(), Value::U64(u64::from(*protocol))),
-            ]),
-            ClientMsg::Submit { req, cells } => Value::Obj(vec![
+            ClientMsg::Hello {
+                magic,
+                protocol,
+                session,
+            } => {
+                let mut pairs = vec![
+                    ("type".into(), Value::Str("hello".into())),
+                    ("magic".into(), Value::Str(magic.clone())),
+                    ("protocol".into(), Value::U64(u64::from(*protocol))),
+                ];
+                if let Some(token) = session {
+                    pairs.push(("session".into(), Value::Str(token.clone())));
+                }
+                Value::Obj(pairs)
+            }
+            ClientMsg::Submit {
+                req,
+                cells,
+                priority,
+            } => Value::Obj(vec![
                 ("type".into(), Value::Str("submit".into())),
                 ("req".into(), Value::U64(*req)),
                 (
                     "cells".into(),
                     Value::Arr(cells.iter().map(CellSpec::to_value).collect()),
                 ),
+                ("priority".into(), Value::Bool(*priority)),
             ]),
+            ClientMsg::Ack { req, cells } => Value::Obj(vec![
+                ("type".into(), Value::Str("ack".into())),
+                ("req".into(), Value::U64(*req)),
+                (
+                    "cells".into(),
+                    Value::Arr(cells.iter().map(|c| Value::U64(*c)).collect()),
+                ),
+            ]),
+            ClientMsg::Resume => Value::Obj(vec![("type".into(), Value::Str("resume".into()))]),
             ClientMsg::Stats => Value::Obj(vec![("type".into(), Value::Str("stats".into()))]),
             ClientMsg::Bye => Value::Obj(vec![("type".into(), Value::Str("bye".into()))]),
         }
@@ -237,6 +288,15 @@ impl ClientMsg {
                 magic: str_field(v, "magic")?,
                 protocol: u32::try_from(u64_field(v, "protocol")?)
                     .map_err(|_| WireError::Malformed("protocol out of range".into()))?,
+                session: match v.get("session") {
+                    None | Some(Value::Null) => None,
+                    Some(Value::Str(s)) => Some(s.clone()),
+                    Some(other) => {
+                        return Err(WireError::Malformed(format!(
+                            "field `session` must be a string, got {other:?}"
+                        )))
+                    }
+                },
             }),
             "submit" => {
                 let cells = match field(v, "cells")? {
@@ -253,8 +313,32 @@ impl ClientMsg {
                 Ok(ClientMsg::Submit {
                     req: u64_field(v, "req")?,
                     cells,
+                    priority: bool_field(v, "priority")?,
                 })
             }
+            "ack" => {
+                let cells = match field(v, "cells")? {
+                    Value::Arr(items) => items
+                        .iter()
+                        .map(|item| match item {
+                            Value::U64(n) => Ok(*n),
+                            other => Err(WireError::Malformed(format!(
+                                "ack cells must be indices, got {other:?}"
+                            ))),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "field `cells` must be an array, got {other:?}"
+                        )))
+                    }
+                };
+                Ok(ClientMsg::Ack {
+                    req: u64_field(v, "req")?,
+                    cells,
+                })
+            }
+            "resume" => Ok(ClientMsg::Resume),
             "stats" => Ok(ClientMsg::Stats),
             "bye" => Ok(ClientMsg::Bye),
             other => Err(WireError::Malformed(format!(
@@ -354,7 +438,8 @@ pub struct CellReply {
 /// Frames the server sends.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServerMsg {
-    /// Handshake acknowledgement with the daemon's admission limits.
+    /// Handshake acknowledgement with the daemon's admission limits
+    /// and the connection's session identity.
     HelloAck {
         /// The protocol version the server speaks.
         protocol: u32,
@@ -362,6 +447,21 @@ pub enum ServerMsg {
         quota: u64,
         /// Global pending-run queue bound.
         queue_capacity: u64,
+        /// The session token this connection is attached to — echo it
+        /// in a future [`ClientMsg::Hello`] to reattach after a
+        /// connection (or daemon) loss.
+        session: String,
+        /// `true` when the hello's token matched a known session (the
+        /// client may [`ClientMsg::Resume`]); `false` for a fresh
+        /// session.
+        resumed: bool,
+    },
+    /// Answer to [`ClientMsg::Resume`]: the journaled requests about
+    /// to be redelivered (each then streams cells and its own `done`).
+    /// An empty list means nothing is pending.
+    Resumed {
+        /// Request ids with unacknowledged cells, ascending.
+        reqs: Vec<u64>,
     },
     /// One cell settled.
     Cell(CellReply),
@@ -404,11 +504,22 @@ impl ServerMsg {
                 protocol,
                 quota,
                 queue_capacity,
+                session,
+                resumed,
             } => Value::Obj(vec![
                 ("type".into(), Value::Str("hello-ack".into())),
                 ("protocol".into(), Value::U64(u64::from(*protocol))),
                 ("quota".into(), Value::U64(*quota)),
                 ("queue_capacity".into(), Value::U64(*queue_capacity)),
+                ("session".into(), Value::Str(session.clone())),
+                ("resumed".into(), Value::Bool(*resumed)),
+            ]),
+            ServerMsg::Resumed { reqs } => Value::Obj(vec![
+                ("type".into(), Value::Str("resumed".into())),
+                (
+                    "reqs".into(),
+                    Value::Arr(reqs.iter().map(|r| Value::U64(*r)).collect()),
+                ),
             ]),
             ServerMsg::Cell(reply) => {
                 let mut pairs = vec![
@@ -476,7 +587,28 @@ impl ServerMsg {
                     .map_err(|_| WireError::Malformed("protocol out of range".into()))?,
                 quota: u64_field(v, "quota")?,
                 queue_capacity: u64_field(v, "queue_capacity")?,
+                session: str_field(v, "session")?,
+                resumed: bool_field(v, "resumed")?,
             }),
+            "resumed" => {
+                let reqs = match field(v, "reqs")? {
+                    Value::Arr(items) => items
+                        .iter()
+                        .map(|item| match item {
+                            Value::U64(n) => Ok(*n),
+                            other => Err(WireError::Malformed(format!(
+                                "resumed reqs must be ids, got {other:?}"
+                            ))),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "field `reqs` must be an array, got {other:?}"
+                        )))
+                    }
+                };
+                Ok(ServerMsg::Resumed { reqs })
+            }
             "cell" => {
                 let status = match str_field(v, "status")?.as_str() {
                     "ok" => CellStatus::Ok(Box::new(field(v, "result")?.clone())),
@@ -526,11 +658,19 @@ impl ServerMsg {
     }
 }
 
-/// The client half of the handshake, prebuilt.
+/// The client half of the handshake for a fresh session.
 #[must_use]
 pub fn hello() -> ClientMsg {
+    hello_with(None)
+}
+
+/// The client half of the handshake, optionally reattaching to a
+/// previous session by token.
+#[must_use]
+pub fn hello_with(session: Option<&str>) -> ClientMsg {
     ClientMsg::Hello {
         magic: MAGIC.to_string(),
         protocol: PROTOCOL_VERSION,
+        session: session.map(str::to_string),
     }
 }

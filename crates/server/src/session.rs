@@ -1,0 +1,287 @@
+//! Session bookkeeping for reconnect-and-resume.
+//!
+//! A session is the daemon-side identity that outlives any one TCP
+//! connection. The first `hello` of a client is answered with a
+//! session token (`sess-{:012x}`); a client that loses its connection
+//! — or whose daemon was restarted — presents that token in its next
+//! `hello` and is *resumed*: the daemon replays only the cells the
+//! client never acknowledged, in original request order.
+//!
+//! The store tracks, per session and request, the full admitted cell
+//! list and the set of acknowledged cell indices (the delivery
+//! watermark). Fully-acked requests are dropped immediately, so the
+//! store — and the compacted flight journal derived from it via
+//! [`SessionStore::live_records`] — stays proportional to
+//! *outstanding* work.
+//!
+//! Tokens are deterministic (a monotonic counter, no clocks, no
+//! randomness): this module is a determinism-pass root, because
+//! journal replay must rebuild identical session state on every
+//! daemon. Collections are `BTreeMap`/`BTreeSet` for stable
+//! iteration order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::journal::JournalRecord;
+use crate::request::CellSpec;
+
+/// One admitted request within a session.
+#[derive(Clone, Debug, Default)]
+struct SessionReq {
+    /// Every cell of the submit, in request order.
+    cells: Vec<CellSpec>,
+    /// Cell indices the client has acknowledged receiving.
+    acked: BTreeSet<u64>,
+    /// Whether the submit asked for the priority lane.
+    priority: bool,
+}
+
+/// One client session: its outstanding (not fully-acked) requests.
+#[derive(Clone, Debug, Default)]
+struct Session {
+    reqs: BTreeMap<u64, SessionReq>,
+}
+
+/// A cell a resumed client is still owed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingCell {
+    /// The request the cell belongs to.
+    pub req: u64,
+    /// The cell's index within the original submit.
+    pub index: u64,
+    /// The cell itself.
+    pub spec: CellSpec,
+    /// Whether the original submit was priority.
+    pub priority: bool,
+}
+
+/// The daemon's table of live sessions.
+#[derive(Debug, Default)]
+pub struct SessionStore {
+    sessions: BTreeMap<String, Session>,
+    next: u64,
+}
+
+impl SessionStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> SessionStore {
+        SessionStore::default()
+    }
+
+    /// Issues a fresh session token and registers the session.
+    pub fn issue(&mut self) -> String {
+        self.next += 1;
+        let token = format!("sess-{:012x}", self.next);
+        self.sessions.insert(token.clone(), Session::default());
+        token
+    }
+
+    /// Re-registers a token (journal replay, or a client resuming on
+    /// a daemon that lost state). Keeps the counter monotonic past
+    /// the token's own number so fresh tokens never collide.
+    pub fn adopt(&mut self, token: &str) {
+        if let Some(hex) = token.strip_prefix("sess-") {
+            if let Ok(n) = u64::from_str_radix(hex, 16) {
+                self.next = self.next.max(n);
+            }
+        }
+        self.sessions.entry(token.to_string()).or_default();
+    }
+
+    /// Whether `token` names a live session.
+    #[must_use]
+    pub fn contains(&self, token: &str) -> bool {
+        self.sessions.contains_key(token)
+    }
+
+    /// Every live session token, in stable (sorted) order.
+    #[must_use]
+    pub fn tokens(&self) -> Vec<String> {
+        self.sessions.keys().cloned().collect()
+    }
+
+    /// Records an admitted plan for a session. Unknown tokens are
+    /// adopted (replay may see a plan whose session record was torn).
+    pub fn record_plan(&mut self, token: &str, req: u64, cells: &[CellSpec], priority: bool) {
+        self.adopt(token);
+        if let Some(session) = self.sessions.get_mut(token) {
+            session.reqs.insert(
+                req,
+                SessionReq {
+                    cells: cells.to_vec(),
+                    acked: BTreeSet::new(),
+                    priority,
+                },
+            );
+        }
+    }
+
+    /// Records acknowledged cell indices; a fully-acked request is
+    /// dropped from the store.
+    pub fn record_ack(&mut self, token: &str, req: u64, cells: &[u64]) {
+        let Some(session) = self.sessions.get_mut(token) else {
+            return;
+        };
+        let Some(sreq) = session.reqs.get_mut(&req) else {
+            return;
+        };
+        sreq.acked.extend(cells.iter().copied());
+        let total = u64::try_from(sreq.cells.len()).unwrap_or(u64::MAX);
+        if (0..total).all(|i| sreq.acked.contains(&i)) {
+            session.reqs.remove(&req);
+        }
+    }
+
+    /// Every cell a session is still owed, requests ascending, cells
+    /// in original order, acked indices omitted.
+    #[must_use]
+    pub fn pending(&self, token: &str) -> Vec<PendingCell> {
+        let Some(session) = self.sessions.get(token) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (&req, sreq) in &session.reqs {
+            for (i, spec) in sreq.cells.iter().enumerate() {
+                let index = u64::try_from(i).unwrap_or(u64::MAX);
+                if !sreq.acked.contains(&index) {
+                    out.push(PendingCell {
+                        req,
+                        index,
+                        spec: spec.clone(),
+                        priority: sreq.priority,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The request ids a session still has outstanding.
+    #[must_use]
+    pub fn open_reqs(&self, token: &str) -> Vec<u64> {
+        self.sessions
+            .get(token)
+            .map(|s| s.reqs.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The minimal journal that rebuilds this store: one `session`
+    /// record per token, then each live request's `plan` and (if any
+    /// cells are acked) one consolidated `ack`. Feeding this to
+    /// [`Journal::rewrite`](crate::journal::Journal::rewrite) is the
+    /// compaction step.
+    #[must_use]
+    pub fn live_records(&self) -> Vec<JournalRecord> {
+        let mut out = Vec::new();
+        for (token, session) in &self.sessions {
+            out.push(JournalRecord::Session {
+                token: token.clone(),
+            });
+            for (&req, sreq) in &session.reqs {
+                out.push(JournalRecord::Plan {
+                    token: token.clone(),
+                    req,
+                    cells: sreq.cells.clone(),
+                    priority: sreq.priority,
+                });
+                if !sreq.acked.is_empty() {
+                    out.push(JournalRecord::Ack {
+                        token: token.clone(),
+                        req,
+                        cells: sreq.acked.iter().copied().collect(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seed: u64) -> CellSpec {
+        CellSpec {
+            benchmark: "gzip".to_string(),
+            predictor: "Bim_4k".to_string(),
+            warmup_insts: 2000,
+            measure_insts: 1000,
+            seed,
+            banked: false,
+        }
+    }
+
+    #[test]
+    fn tokens_are_deterministic_and_adoption_keeps_them_unique() {
+        let mut store = SessionStore::new();
+        assert_eq!(store.issue(), "sess-000000000001");
+        assert_eq!(store.issue(), "sess-000000000002");
+        let mut fresh = SessionStore::new();
+        fresh.adopt("sess-000000000002");
+        assert_eq!(fresh.issue(), "sess-000000000003");
+    }
+
+    #[test]
+    fn pending_tracks_the_ack_watermark() {
+        let mut store = SessionStore::new();
+        let token = store.issue();
+        store.record_plan(&token, 1, &[spec(1), spec(2), spec(3)], false);
+        store.record_ack(&token, 1, &[1]);
+        let pending = store.pending(&token);
+        assert_eq!(
+            pending.iter().map(|p| p.index).collect::<Vec<_>>(),
+            vec![0, 2],
+            "acked cell 1 must not be redelivered"
+        );
+        assert_eq!(pending[0].spec, spec(1));
+        assert_eq!(pending[1].spec, spec(3));
+    }
+
+    #[test]
+    fn fully_acked_requests_are_dropped() {
+        let mut store = SessionStore::new();
+        let token = store.issue();
+        store.record_plan(&token, 1, &[spec(1), spec(2)], true);
+        store.record_plan(&token, 2, &[spec(3)], false);
+        store.record_ack(&token, 1, &[0, 1]);
+        assert_eq!(store.open_reqs(&token), vec![2]);
+        assert_eq!(store.pending(&token).len(), 1);
+        // live_records no longer mentions req 1.
+        let records = store.live_records();
+        assert!(records
+            .iter()
+            .all(|r| !matches!(r, JournalRecord::Plan { req: 1, .. })));
+    }
+
+    #[test]
+    fn live_records_round_trip_through_replay() {
+        let mut store = SessionStore::new();
+        let a = store.issue();
+        let b = store.issue();
+        store.record_plan(&a, 1, &[spec(1), spec(2)], false);
+        store.record_plan(&b, 5, &[spec(9)], true);
+        store.record_ack(&a, 1, &[0]);
+
+        let mut rebuilt = SessionStore::new();
+        for record in store.live_records() {
+            match record {
+                JournalRecord::Session { token } => rebuilt.adopt(&token),
+                JournalRecord::Plan {
+                    token,
+                    req,
+                    cells,
+                    priority,
+                } => rebuilt.record_plan(&token, req, &cells, priority),
+                JournalRecord::Ack { token, req, cells } => {
+                    rebuilt.record_ack(&token, req, &cells);
+                }
+                JournalRecord::Done { .. } => {}
+            }
+        }
+        assert_eq!(rebuilt.pending(&a), store.pending(&a));
+        assert_eq!(rebuilt.pending(&b), store.pending(&b));
+        assert_eq!(rebuilt.issue(), "sess-000000000003");
+    }
+}

@@ -8,6 +8,7 @@
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
+use bw_core::RunCache;
 use bw_fault::{FaultKind, FaultPlan};
 use bw_server::{CellSpec, CellStatus, Client, ClientError, Server, ServerConfig};
 
@@ -135,4 +136,59 @@ fn slow_loris_client_is_cut_off() {
 
     assert_recovers(&server, 3001);
     server.shutdown();
+}
+
+/// The eviction race: a warm cache entry vanishes at the worst moment
+/// — just before the admission probe, under the scheduler lock.
+/// Single-flight must turn the miss into exactly one re-execution with
+/// a correct reply, never a duplicate run, never a lost cell.
+#[test]
+fn cache_evicted_under_admission_probe_reruns_once() {
+    let _gate = serial();
+    let cache_dir = std::env::temp_dir().join(format!("bw-chaos-evict-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server = Server::launch(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache_dir: Some(cache_dir.clone()),
+            workers: 1,
+            read_timeout: Some(Duration::from_secs(10)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+
+    // Warm the cache, unarmed.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let warm = client.run_cells(1, &[tiny_cell(4000)]).expect("warm run");
+    assert!(matches!(warm[0].status, CellStatus::Ok(_)));
+    assert_eq!(server.executed(), 1);
+    assert_eq!(RunCache::new(cache_dir.clone()).usage().1, 1);
+
+    // Armed: the entry is evicted right before the admission probe.
+    bw_fault::arm(FaultPlan::new(17).fault_times(FaultKind::EvictCache, "bw-server admit", 1));
+    let replies = client
+        .run_cells(2, &[tiny_cell(4000)])
+        .expect("the evicted cell re-executes");
+    let log = bw_fault::disarm();
+    assert!(
+        matches!(replies[0].status, CellStatus::Ok(_)),
+        "post-eviction cell: {:?}",
+        replies[0].status
+    );
+    assert_eq!(log.len(), 1, "exactly one injected eviction");
+    assert_eq!(log[0].kind, "evict");
+    assert_eq!(
+        server.executed(),
+        2,
+        "the evicted cell re-executes exactly once — no duplicates"
+    );
+
+    // The re-execution restored the entry; a repeat is a pure hit.
+    let again = client.run_cells(3, &[tiny_cell(4000)]).expect("warm again");
+    assert!(matches!(again[0].status, CellStatus::Ok(_)));
+    assert_eq!(server.executed(), 2, "no further executions");
+    client.bye();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }

@@ -56,11 +56,16 @@ proptest! {
     #[test]
     fn client_msgs_round_trip(
         req in any::<u64>(),
+        priority in any::<bool>(),
+        acks in collection::vec(any::<u64>(), 0..6),
         raws in collection::vec((any::<u64>(), 1u64..1 << 30, 1u64..1 << 30, any::<bool>()), 0..5),
     ) {
         let msgs = [
             bw_server::protocol::hello(),
-            ClientMsg::Submit { req, cells: raws.into_iter().map(spec_from).collect() },
+            bw_server::protocol::hello_with(Some("sess-00000000002a")),
+            ClientMsg::Submit { req, cells: raws.into_iter().map(spec_from).collect(), priority },
+            ClientMsg::Ack { req, cells: acks },
+            ClientMsg::Resume,
             ClientMsg::Stats,
             ClientMsg::Bye,
         ];
@@ -88,7 +93,14 @@ proptest! {
             },
         };
         let msgs = [
-            ServerMsg::HelloAck { protocol: 1, quota: a, queue_capacity: b },
+            ServerMsg::HelloAck {
+                protocol: 2,
+                quota: a,
+                queue_capacity: b,
+                session: format!("sess-{:012x}", c & 0xffff),
+                resumed: c % 2 == 0,
+            },
+            ServerMsg::Resumed { reqs: vec![a, b, c] },
             ServerMsg::Cell(CellReply { req: a, cell: b, status }),
             ServerMsg::Done { req: a, ok: b, refused: c, failed: a ^ b },
             ServerMsg::Stats { executed: a, queued: b, inflight: c },
@@ -122,7 +134,7 @@ proptest! {
     #[test]
     fn corruption_never_panics(raw in (any::<u64>(), 1u64..1 << 30, 1u64..1 << 30, any::<bool>()),
                                pos in any::<u64>(), flip in 1u8..=255) {
-        let msg = ClientMsg::Submit { req: raw.0, cells: vec![spec_from(raw)] };
+        let msg = ClientMsg::Submit { req: raw.0, cells: vec![spec_from(raw)], priority: raw.3 };
         let mut frame = encode_frame(&msg.to_value()).expect("encode");
         let pos = (pos % frame.len() as u64) as usize;
         frame[pos] ^= flip;

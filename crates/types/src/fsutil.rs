@@ -56,6 +56,43 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     }
 }
 
+/// Appends `line` (a newline is added) to the file at `path`, creating
+/// it and its parents as needed — the sanctioned append primitive for
+/// append-only journals.
+///
+/// Appends are *not* atomic the way [`atomic_write`] is: a crash can
+/// leave a torn final line. The contract is therefore different —
+/// every complete earlier line survives untouched (O_APPEND never
+/// rewrites), and readers must validate each line and tolerate a torn
+/// tail (the flight journal checksums every line for exactly this).
+/// The write is flushed and fsynced before returning so a completed
+/// append survives power loss.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_line(path: &Path, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    // One write_all of the whole line: with O_APPEND each write
+    // positions atomically at the end, so concurrent appenders
+    // interleave whole lines, never halves of two.
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    f.write_all(&buf)?;
+    f.flush()?;
+    f.sync_all()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +124,16 @@ mod tests {
         atomic_write(&path, b"a much longer first version").unwrap();
         atomic_write(&path, b"short").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"short");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_line_creates_parents_and_accumulates() {
+        let dir = temp_dir("append");
+        let path = dir.join("nested").join("journal.log");
+        append_line(&path, "one").unwrap();
+        append_line(&path, "two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "one\ntwo\n");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

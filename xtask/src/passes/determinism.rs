@@ -56,6 +56,11 @@ fn is_root(rel: &str) -> bool {
         // resolve to the same RunKey digest on every daemon.
         "crates/server/src/protocol.rs",
         "crates/server/src/request.rs",
+        // The durability layer: journal records, session tokens, and
+        // the fair scheduler must replay identically across restarts.
+        "crates/server/src/journal.rs",
+        "crates/server/src/session.rs",
+        "crates/server/src/sched.rs",
     ];
     ROOT_DIRS.iter().any(|d| rel.starts_with(d)) || ROOT_FILES.contains(&rel)
 }
